@@ -1,0 +1,18 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark runs one figure (or one representative slice of it) at
+``quick`` scale through pytest-benchmark, printing the regenerated series
+and asserting the qualitative claims the paper makes about that figure —
+who wins, in which direction curves move. Absolute-value comparisons
+against the digitized paper numbers live in EXPERIMENTS.md, produced by
+``python -m repro all --scale full``.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a whole-figure simulation exactly once under pytest-benchmark
+    (rounds>1 would multiply minutes of simulation for no extra signal)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,76 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not paper figures — these isolate *why* the curves look the way they do:
+1. ZAB quorum cost is what slows writes as the ensemble grows.
+2. Lustre's DLM callbacks are a real part of its concurrent-create cost.
+3. DUFS's physical-path layout matters: the verbatim Fig.-4 layout mints a
+   fresh directory chain per file and collapses file-op throughput.
+4. Co-locating ZooKeeper with the clients (the paper's deployment) trades
+   client CPU for lower read latency.
+5. Consistent hashing (future work §VII) bounds relocation where
+   MD5-mod-N cannot grow at all.
+"""
+
+import pytest
+
+from repro.bench import render_figure, run_ablations
+from repro.core.fid import make_fid
+from repro.core.mapping import MappingFunction
+
+from .conftest import run_once
+
+
+def test_design_ablations(benchmark):
+    fig = run_once(benchmark, run_ablations, scale="quick")
+    print()
+    print(render_figure(fig))
+
+    def val(name):
+        series = fig.series[name]
+        return series[-1][1]
+
+    # 1. quorum cost: writes at 8 servers slower than at 1.
+    assert val("zoo_create/zk8") < val("zoo_create/zk1")
+
+    # 2. DLM callbacks: the mechanism fires under concurrent creates
+    # (revocations + forced re-lookups), even though throughput moves
+    # little — the blocking waits don't occupy the MDS CPU.
+    assert val("lustre_revocations/dlm=on") > 100
+    assert val("lustre_revocations/dlm=off") == 0
+    assert val("lustre_lookup_rpcs/dlm=on") > \
+        val("lustre_lookup_rpcs/dlm=off")
+
+    # 3. layout: the verbatim paper layout pays an extra mkdir per create.
+    assert val("dufs_file_create/layout=amortized") > 1.3 * \
+        val("dufs_file_create/layout=paper")
+
+    # 4. both placements work; record the trade-off.
+    assert val("dufs_dir_stat/colocated=True") > 0
+    assert val("dufs_dir_stat/colocated=False") > 0
+
+    # 5. observers (beyond the paper): same 8 machines, 3 voting — writes
+    # speed up, reads keep the full fan-out.
+    assert val("zk_write/3voters+5obs") > 1.2 * val("zk_write/8voters")
+    assert val("zk_read/3voters+5obs") > 0.85 * val("zk_read/8voters")
+
+
+def test_consistent_hashing_vs_modn(benchmark):
+    """Future-work mapping: growing the mount set relocates ~1/(N+1) of
+    files under consistent hashing; MD5-mod-N would relocate ~N/(N+1)."""
+
+    def relocation_fraction():
+        ring = MappingFunction(4, strategy="consistent")
+        fids = [make_fid(3, i) for i in range(4000)]
+        before = {f: ring.backend_for(f) for f in fids}
+        ring.add_backend()
+        moved = sum(1 for f in fids if ring.backend_for(f) != before[f])
+        # What mod-N rehashing would have moved:
+        mod4 = [f % 4 for f in fids]
+        mod5 = [f % 5 for f in fids]
+        modn_moved = sum(1 for a, b in zip(mod4, mod5) if a != b)
+        return moved / len(fids), modn_moved / len(fids)
+
+    ring_frac, modn_frac = run_once(benchmark, relocation_fraction)
+    print(f"\nrelocated: consistent={ring_frac:.1%} vs mod-N={modn_frac:.1%}")
+    assert ring_frac < 0.33
+    assert modn_frac > 0.6

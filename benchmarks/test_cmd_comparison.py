@@ -1,0 +1,33 @@
+"""DUFS vs Lustre CMD — the design alternative the paper argues against.
+
+§II: "one metadata operation may need to update several different MDSs
+... a global lock has to be in place to synchronize the updates and to
+maintain consistency. This might hurt the throughput of metadata
+operations." §VI adds that CMD's coordination still depends on a central
+master. This benchmark quantifies both points.
+"""
+
+from repro.bench import render_figure, run_cmd_comparison
+
+from .conftest import run_once
+
+
+def test_cmd_global_lock_hurts_mutations(benchmark):
+    fig = run_once(benchmark, run_cmd_comparison, scale="quick")
+    print()
+    print(render_figure(fig))
+    procs = max(x for x, _ in fig.series["dir_create/dufs"])
+
+    # The paper's critique: despite multiple ACTIVE MDSes, CMD's mutation
+    # throughput is pinned by the global lock...
+    assert fig.at("dir_create/dufs", procs) > \
+        3 * fig.at("dir_create/cmd2", procs)
+    # ...and ADDING MDSes makes it worse (more cross-server updates).
+    assert fig.at("dir_create/cmd4", procs) < \
+        1.05 * fig.at("dir_create/cmd2", procs)
+    assert fig.at("global_locks/cmd4", procs) > \
+        fig.at("global_locks/cmd2", procs)
+
+    # Reads (no lock) DO scale with MDS count — CMD is fine for stats.
+    assert fig.at("dir_stat/cmd4", procs) > \
+        1.5 * fig.at("dir_stat/cmd2", procs)

@@ -1,0 +1,38 @@
+"""Fig. 7 — raw ZooKeeper throughput for basic operations.
+
+Paper claims reproduced here:
+- write ops (create/set/delete) get *slower* as servers are added
+  (quorum replication overhead),
+- zoo_get gets *faster* (each server answers reads locally).
+"""
+
+from repro.bench import render_figure, run_fig7
+
+from .conftest import run_once
+
+
+def test_fig7_zookeeper_throughput(benchmark):
+    fig = run_once(benchmark, run_fig7, scale="quick")
+    print()
+    print(render_figure(fig))
+    procs = max(x for x, _ in fig.series["zoo_get/zk1"])
+
+    # Reads scale out with ensemble size.
+    assert fig.at(f"zoo_get/zk8", procs) > 2.5 * fig.at(f"zoo_get/zk1", procs)
+    assert fig.at(f"zoo_get/zk4", procs) > 1.5 * fig.at(f"zoo_get/zk1", procs)
+
+    # Writes degrade with ensemble size.
+    for op in ("zoo_create", "zoo_set", "zoo_delete"):
+        assert fig.at(f"{op}/zk8", procs) < fig.at(f"{op}/zk1", procs)
+
+    # The Fig. 7a-vs-7b asymmetry: creates outrun deletes at 1 server.
+    assert fig.at("zoo_create/zk1", procs) > 1.4 * fig.at("zoo_delete/zk1",
+                                                          procs)
+
+
+def test_fig7_read_write_gap_at_scale(benchmark):
+    """At 8 servers the read:write gap is more than an order of magnitude
+    (the property DUFS's dir-stat numbers inherit)."""
+    fig = run_once(benchmark, run_fig7, scale="quick", ensembles=(8,))
+    procs = max(x for x, _ in fig.series["zoo_get/zk8"])
+    assert fig.at("zoo_get/zk8", procs) > 10 * fig.at("zoo_create/zk8", procs)

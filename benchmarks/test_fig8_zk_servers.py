@@ -1,0 +1,30 @@
+"""Fig. 8 — DUFS operation throughput vs number of ZooKeeper servers,
+against Basic Lustre (2 Lustre back-ends).
+
+Paper claims reproduced:
+- stat-type (read) operations improve significantly with more ZK servers,
+- the effect on mutation ops is much smaller,
+- DUFS's directory stat dwarfs Basic Lustre's.
+"""
+
+from repro.bench import render_figure, run_fig8
+
+from .conftest import run_once
+
+
+def test_fig8_zk_server_scaling(benchmark):
+    fig = run_once(benchmark, run_fig8, scale="quick", ensembles=(1, 8))
+    print()
+    print(render_figure(fig))
+    procs = max(x for x, _ in fig.series["dir_stat/zk1"])
+
+    # Reads benefit from servers...
+    assert fig.at("dir_stat/zk8", procs) > 1.8 * fig.at("dir_stat/zk1", procs)
+    # ...mutations do not (quorum overhead roughly offsets the spreading).
+    create_gain = fig.at("dir_create/zk8", procs) / fig.at("dir_create/zk1",
+                                                           procs)
+    assert create_gain < 1.3
+
+    # DUFS dir stat crushes Basic Lustre even at quick scale.
+    assert fig.at("dir_stat/zk8", procs) > 2 * fig.at("dir_stat/lustre",
+                                                      procs)

@@ -1,0 +1,46 @@
+"""Fig. 9 — file-operation throughput vs number of back-end storages.
+
+Paper claims reproduced:
+- adding back-ends helps file stat (reads distribute over more MDS/OSS),
+- file create/remove barely move (the ZooKeeper write dominates),
+- at 256 procs the stat gain exceeds 37% (asserted by the full-scale
+  harness in EXPERIMENTS.md; here at quick scale we assert the ordering).
+"""
+
+from repro.bench import render_figure, run_fig9
+from repro.bench.figures import _run_dufs
+from repro.workloads.mdtest import FILE_PHASES
+
+from .conftest import run_once
+
+
+def test_fig9_backend_scaling(benchmark):
+    fig = run_once(benchmark, run_fig9, scale="quick")
+    print()
+    print(render_figure(fig))
+    procs = max(x for x, _ in fig.series["file_stat/lustre"])
+
+    # More back-ends never hurts file stat; create/remove stay flat.
+    assert fig.at("file_stat/backends4", procs) >= \
+        0.97 * fig.at("file_stat/backends2", procs)
+    create_ratio = fig.at("file_create/backends4", procs) / \
+        fig.at("file_create/backends2", procs)
+    assert 0.8 < create_ratio < 1.25
+
+
+def test_fig9_stat_gain_at_contention(benchmark):
+    """At 256 procs (the paper's operating point) 4 back-ends beat 2 by
+    >25% on file stat — the §V-C '37%' effect."""
+
+    def point(n_backends):
+        res = _run_dufs("lustre", 256, 10, 0, n_backends=n_backends,
+                        phases=FILE_PHASES)
+        return res.throughput("file_stat")
+
+    def both():
+        return point(2), point(4)
+
+    two, four = run_once(benchmark, both)
+    print(f"\nfile_stat @256 procs: 2 backends={two:,.0f} "
+          f"4 backends={four:,.0f} (+{four / two - 1:.0%})")
+    assert four > 1.25 * two

@@ -1,0 +1,33 @@
+"""The paper's side experiment (§V): many files created in ONE directory.
+
+This is the worst case for directory-lock designs (related work §VI:
+"significant bottlenecks for concurrent create workloads, especially from
+many clients working on one single directory" — the GIGA+ motivation).
+Lustre serializes same-directory mutations on the directory mutex; DUFS
+funnels them through the ZooKeeper write pipeline, which doesn't care that
+the parent znode is shared.
+"""
+
+from repro.bench import render_figure, run_single_dir
+
+from .conftest import run_once
+
+
+def test_single_shared_directory(benchmark):
+    fig = run_once(benchmark, run_single_dir, scale="quick")
+    print()
+    print(render_figure(fig))
+    xs = sorted(x for x, _ in fig.series["file_create/lustre"])
+    lo, hi = xs[0], xs[-1]
+
+    # Lustre's single-dir create rate decays with concurrency (the dir
+    # mutex serializes); DUFS's rate must not decay.
+    lustre_trend = fig.at("file_create/lustre", hi) / \
+        fig.at("file_create/lustre", lo)
+    dufs_trend = fig.at("file_create/dufs-lustre", hi) / \
+        fig.at("file_create/dufs-lustre", lo)
+    assert dufs_trend > lustre_trend
+
+    # Stats are unaffected by the shared directory on both systems.
+    assert fig.at("file_stat/lustre", hi) > 5 * fig.at("file_create/lustre",
+                                                       hi)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""A mini evaluation campaign: DUFS vs Basic Lustre vs Basic PVFS2.
+
+Runs the mdtest workload (the paper's benchmark: shared fan-out-10 tree,
+six barrier-separated phases) against three systems at a configurable
+process count and prints a Fig.-10-style comparison table.
+
+Run:  python examples/mdtest_campaign.py [--procs 64] [--items 12]
+"""
+
+import argparse
+
+from repro.core import build_dufs_deployment
+from repro.pfs.lustre import build_lustre
+from repro.pfs.pvfs import build_pvfs
+from repro.sim import Cluster
+from repro.workloads.mdtest import ALL_PHASES, MdtestConfig, run_mdtest
+from repro.workloads.treegen import TreeSpec
+
+
+def run_basic(kind, procs, items, seed=0):
+    cluster = Cluster(seed=seed)
+    nodes = [cluster.add_node(f"client{i}") for i in range(8)]
+    fs = (build_lustre(cluster, "lustre") if kind == "lustre"
+          else build_pvfs(cluster, "pvfs"))
+    cfg = MdtestConfig(n_procs=procs, items_per_proc=items,
+                       tree=TreeSpec(10, 2))
+    return run_mdtest(cluster, lambda i: fs.client(nodes[i % 8]),
+                      lambda i: nodes[i % 8], cfg)
+
+
+def run_dufs(procs, items, seed=0):
+    dep = build_dufs_deployment(n_zk=8, n_backends=2, n_client_nodes=8,
+                                backend="lustre", seed=seed)
+    cfg = MdtestConfig(n_procs=procs, items_per_proc=items,
+                       tree=TreeSpec(10, 2))
+    return run_mdtest(dep.cluster, dep.mount_for, dep.node_for, cfg)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--procs", type=int, default=64)
+    parser.add_argument("--items", type=int, default=12)
+    args = parser.parse_args()
+
+    print(f"mdtest: {args.procs} client processes x {args.items} items, "
+          f"shared tree fanout=10 depth=2\n")
+    results = {
+        "Basic Lustre": run_basic("lustre", args.procs, args.items),
+        "DUFS (2x Lustre)": run_dufs(args.procs, args.items),
+        "Basic PVFS2": run_basic("pvfs", args.procs, args.items),
+    }
+    width = 18
+    print(f"{'operation':>14} " + "".join(f"{name:>{width}}"
+                                          for name in results))
+    for phase in ALL_PHASES:
+        row = f"{phase:>14} "
+        for name, res in results.items():
+            row += f"{res.throughput(phase):>{width - 6},.0f} ops/s"
+        print(row)
+    print()
+    dufs = results["DUFS (2x Lustre)"]
+    lustre = results["Basic Lustre"]
+    pvfs = results["Basic PVFS2"]
+    print("speedups (DUFS vs ...):")
+    for phase in ALL_PHASES:
+        print(f"  {phase:>14}: {dufs.throughput(phase) / lustre.throughput(phase):5.2f}x Lustre   "
+              f"{dufs.throughput(phase) / pvfs.throughput(phase):7.2f}x PVFS2")
+    print("\n(the paper's headline numbers are at 256 processes: "
+          "run with --procs 256)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Benchmark harnesses regenerating every figure of the paper's evaluation."""
+
+from .export import figure_to_csv, write_figure_csv
+from .figures import (
+    FigureResult,
+    run_ablations,
+    run_cmd_comparison,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_headline_claims,
+    run_single_dir,
+)
+from .report import render_figure, render_headline
+
+__all__ = [
+    "FigureResult",
+    "run_ablations", "run_cmd_comparison",
+    "run_fig7", "run_fig8", "run_fig9", "run_fig10",
+    "run_fig11", "run_headline_claims", "run_single_dir",
+    "figure_to_csv", "write_figure_csv",
+    "render_figure", "render_headline",
+]

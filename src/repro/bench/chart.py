@@ -1,0 +1,104 @@
+"""Terminal chart rendering for figure results (no plotting deps).
+
+Turns a :class:`FigureResult` panel into an ASCII line/scatter chart so
+``python -m repro fig10 --chart`` shows the curve shapes directly in the
+terminal, roughly as the paper's plots look.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .figures import FigureResult
+
+MARKERS = "ox+*#@%&"
+
+
+def _fmt_val(v: float) -> str:
+    if v >= 10000:
+        return f"{v / 1000:.0f}k"
+    if v >= 1000:
+        return f"{v / 1000:.1f}k"
+    if v >= 10:
+        return f"{v:.0f}"
+    return f"{v:.2f}"
+
+
+def render_panel(
+    title: str,
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 14,
+) -> str:
+    """One panel: x = swept value, y = ops/s, one marker per variant."""
+    xs = sorted({x for pts in series.values() for x, _ in pts})
+    ys = [y for pts in series.values() for _, y in pts]
+    if not xs or not ys:
+        return f"[{title}: no data]"
+    ymax = max(ys) * 1.05 or 1.0
+    xmin, xmax = min(xs), max(xs)
+    xspan = (xmax - xmin) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (name, pts) in enumerate(sorted(series.items())):
+        marker = MARKERS[idx % len(MARKERS)]
+        legend.append(f"{marker}={name}")
+        # line segments between consecutive points
+        spts = sorted(pts)
+        cells = []
+        for x, y in spts:
+            cx = int((x - xmin) / xspan * (width - 1))
+            cy = int(y / ymax * (height - 1))
+            cells.append((cx, cy))
+        for (x0, y0), (x1, y1) in zip(cells, cells[1:]):
+            steps = max(abs(x1 - x0), abs(y1 - y0), 1)
+            for s in range(steps + 1):
+                cx = round(x0 + (x1 - x0) * s / steps)
+                cy = round(y0 + (y1 - y0) * s / steps)
+                row = height - 1 - cy
+                if grid[row][cx] == " ":
+                    grid[row][cx] = "."
+        for cx, cy in cells:
+            grid[height - 1 - cy][cx] = marker
+
+    ylab_w = 7
+    lines = [f"{title}  (y max {_fmt_val(ymax)})"]
+    for r, row in enumerate(grid):
+        if r == 0:
+            ylab = _fmt_val(ymax)
+        elif r == height - 1:
+            ylab = "0"
+        elif r == height // 2:
+            ylab = _fmt_val(ymax / 2)
+        else:
+            ylab = ""
+        lines.append(f"{ylab:>{ylab_w}} |" + "".join(row))
+    lines.append(" " * ylab_w + " +" + "-" * width)
+    xticks = " " * (ylab_w + 2)
+    tick_positions = {0: str(int(xmin)), width - 1: str(int(xmax))}
+    mid = width // 2
+    tick_positions[mid] = str(int(xmin + xspan / 2))
+    label_line = list(" " * (ylab_w + 2 + width + 6))
+    for pos, text in tick_positions.items():
+        start = ylab_w + 2 + pos - len(text) // 2
+        for i, ch in enumerate(text):
+            if 0 <= start + i < len(label_line):
+                label_line[start + i] = ch
+    lines.append("".join(label_line).rstrip())
+    lines.append(" " * ylab_w + "  " + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def render_figure_charts(fig: FigureResult, width: int = 60,
+                         height: int = 12) -> str:
+    """All panels of a figure as stacked ASCII charts."""
+    panels: Dict[str, Dict[str, List[Tuple[float, float]]]] = {}
+    for name, pts in fig.series.items():
+        panel, _, variant = name.partition("/")
+        panels.setdefault(panel, {})[variant or panel] = pts
+    out = [f"== {fig.figure}: {fig.title} =="]
+    for panel, series in panels.items():
+        out.append(render_panel(panel, series, width=width, height=height))
+        out.append("")
+    return "\n".join(out)

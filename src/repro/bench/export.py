@@ -1,0 +1,31 @@
+"""CSV export of figure results (for external plotting)."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Optional
+
+from .figures import FigureResult
+
+
+def figure_to_csv(fig: FigureResult) -> str:
+    """Long-format CSV: figure, panel, variant, x, ops_per_sec."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["figure", "panel", "variant", "x", "value"])
+    for name in sorted(fig.series):
+        panel, _, variant = name.partition("/")
+        for x, y in fig.series[name]:
+            writer.writerow([fig.figure, panel, variant or panel, x,
+                             f"{y:.6g}"])
+    return buf.getvalue()
+
+
+def write_figure_csv(fig: FigureResult, directory: str | Path) -> Path:
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{fig.figure}.csv"
+    path.write_text(figure_to_csv(fig))
+    return path

@@ -1,0 +1,60 @@
+"""Published reference values.
+
+Two kinds of ground truth, kept separate on purpose:
+
+- ``TEXT_CLAIMS`` — ratios and constants stated *in the paper's prose*
+  (authoritative): dir-create speedups at 256 procs (1.9× over Lustre,
+  23× over PVFS2), file-stat speedups (1.3× / 3.0×), the ≥37% file-stat
+  gain from 4 vs 2 back-ends, and 417 MB per million znodes.
+- ``PAPER_CURVES`` — values digitized *approximately* from the figures
+  (the paper provides no tables); treat them as ±20% anchors for curve
+  shapes, not exact targets.
+"""
+
+from __future__ import annotations
+
+TEXT_CLAIMS = {
+    # (figure, metric): value stated in the text
+    "dir_create_speedup_vs_lustre_256": 1.9,     # §V-D
+    "dir_create_speedup_vs_pvfs_256": 23.0,      # §V-D
+    "file_stat_speedup_vs_lustre_256": 1.3,      # §V-D / abstract
+    "file_stat_speedup_vs_pvfs_256": 3.0,        # §V-D / abstract
+    "file_stat_gain_4_vs_2_backends_256": 0.37,  # §V-C ("more than 37%")
+    "zk_mb_per_million_znodes": 417.0,           # §V-E
+}
+
+# Approximate (ops/s) read off the plots; keys are series names used by the
+# figure runners. x = number of client processes.
+PAPER_CURVES = {
+    "fig7": {
+        # ZooKeeper raw throughput at 256 procs (panel maxima / minima)
+        ("zoo_create", 1): 15000,
+        ("zoo_create", 8): 6500,
+        ("zoo_get", 1): 21000,
+        ("zoo_get", 8): 165000,
+        ("zoo_set", 1): 8500,
+        ("zoo_set", 8): 5500,
+        ("zoo_delete", 1): 8500,
+        ("zoo_delete", 8): 5500,
+    },
+    "fig10_256procs": {
+        # system -> op -> approx ops/s at 256 client processes
+        "lustre": {"dir_create": 2600, "dir_remove": 3300, "dir_stat": 33000,
+                   "file_create": 5000, "file_remove": 3800,
+                   "file_stat": 30000},
+        "dufs-lustre": {"dir_create": 4900, "dir_remove": 5500,
+                        "dir_stat": 88000, "file_create": 5500,
+                        "file_remove": 5500, "file_stat": 40000},
+        "pvfs": {"dir_create": 215, "dir_remove": 230, "dir_stat": 17000,
+                 "file_create": 250, "file_remove": 250, "file_stat": 13500},
+        "dufs-pvfs": {"dir_create": 4900, "dir_remove": 5500,
+                      "dir_stat": 88000, "file_create": 300,
+                      "file_remove": 330, "file_stat": 17000},
+    },
+    "fig11": {
+        # millions of directories -> ZooKeeper MB (linear, ~417 MB/M)
+        "zookeeper_mb_per_million": 417.0,
+        "dufs_mb_flat": 37.0,
+        "dummy_fuse_mb_flat": 26.0,
+    },
+}

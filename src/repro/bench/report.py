@@ -1,0 +1,74 @@
+"""Text rendering of figure results: the rows/series the paper reports."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .figures import FigureResult
+from .paper_data import TEXT_CLAIMS
+
+
+def _fmt(v: Optional[float]) -> str:
+    if v is None:
+        return "-"
+    if v >= 1000:
+        return f"{v:,.0f}"
+    if v >= 10:
+        return f"{v:.0f}"
+    return f"{v:.2f}"
+
+
+def render_figure(fig: FigureResult) -> str:
+    """One table per operation/panel: columns = series, rows = x values."""
+    lines = [f"== {fig.figure}: {fig.title} ==",
+             f"   (x = {fig.xlabel}; values = ops/s unless noted; "
+             f"ran in {fig.wall_seconds:.1f}s wall)"]
+    # Group series "panel/variant" by panel.
+    panels: Dict[str, Dict[str, dict]] = {}
+    xs: set = set()
+    for name, points in fig.series.items():
+        panel, _, variant = name.partition("/")
+        panels.setdefault(panel, {})[variant or name] = dict(points)
+        xs.update(x for x, _ in points)
+    xvals = sorted(xs)
+    for panel in panels:
+        variants = panels[panel]
+        cols = list(variants)
+        width = max(12, *(len(c) + 2 for c in cols))
+        lines.append(f"-- {panel} --")
+        header = f"{'x':>8} " + "".join(f"{c:>{width}}" for c in cols)
+        lines.append(header)
+        for x in xvals:
+            row = f"{x:>8g} "
+            any_val = False
+            for c in cols:
+                v = variants[c].get(x)
+                any_val = any_val or v is not None
+                row += f"{_fmt(v):>{width}}"
+            if any_val:
+                lines.append(row)
+    for note in fig.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def render_headline(measured: Dict[str, float]) -> str:
+    """Paper-vs-measured table for the §V-D headline speedups."""
+    rows = [
+        ("dir create vs Lustre", "dir_create_speedup_vs_lustre",
+         TEXT_CLAIMS["dir_create_speedup_vs_lustre_256"]),
+        ("dir create vs PVFS2", "dir_create_speedup_vs_pvfs",
+         TEXT_CLAIMS["dir_create_speedup_vs_pvfs_256"]),
+        ("file stat vs Lustre", "file_stat_speedup_vs_lustre",
+         TEXT_CLAIMS["file_stat_speedup_vs_lustre_256"]),
+        ("file stat vs PVFS2", "file_stat_speedup_vs_pvfs",
+         TEXT_CLAIMS["file_stat_speedup_vs_pvfs_256"]),
+    ]
+    lines = [f"== Headline claims at {measured.get('procs', '?')} client "
+             f"processes (paper states them at 256) ==",
+             f"{'claim':>24} {'paper':>8} {'measured':>10} {'ratio':>7}"]
+    for label, key, paper in rows:
+        got = measured[key]
+        lines.append(f"{label:>24} {paper:>7.1f}x {got:>9.2f}x "
+                     f"{got / paper:>6.2f}")
+    return "\n".join(lines)

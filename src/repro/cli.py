@@ -1,0 +1,83 @@
+"""Command-line entry point: regenerate any figure of the paper.
+
+Usage::
+
+    python -m repro fig7 [--scale quick|medium|full] [--seed N]
+    python -m repro fig8 | fig9 | fig10 | fig11 | claims | ablations
+    python -m repro all --scale medium
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench import (
+    render_figure,
+    render_headline,
+    run_ablations,
+    run_cmd_comparison,
+    run_single_dir,
+    write_figure_csv,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_headline_claims,
+)
+
+RUNNERS = {
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "singledir": run_single_dir,
+    "cmd": run_cmd_comparison,
+    "ablations": run_ablations,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the figures of 'Can a Decentralized "
+                    "Metadata Service Layer benefit Parallel Filesystems?' "
+                    "(CLUSTER 2011) on the simulated cluster.")
+    parser.add_argument("target",
+                        choices=[*RUNNERS, "claims", "all"],
+                        help="which figure/table to regenerate")
+    parser.add_argument("--scale", default="quick",
+                        choices=("quick", "medium", "full"),
+                        help="sweep size: quick (seconds), medium, or full "
+                             "(the paper's axes; minutes)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--csv", metavar="DIR", default=None,
+                        help="also write each figure as CSV into DIR")
+    parser.add_argument("--chart", action="store_true",
+                        help="render ASCII charts of each figure's panels")
+    args = parser.parse_args(argv)
+
+    targets = list(RUNNERS) + ["claims"] if args.target == "all" \
+        else [args.target]
+    for target in targets:
+        if target == "claims":
+            scale = args.scale if args.scale != "quick" else "medium"
+            print(render_headline(run_headline_claims(scale=scale,
+                                                      seed=args.seed)))
+        else:
+            fig = RUNNERS[target](scale=args.scale, seed=args.seed)
+            print(render_figure(fig))
+            if args.chart:
+                from .bench.chart import render_figure_charts
+                print()
+                print(render_figure_charts(fig))
+            if args.csv:
+                print(f"[csv] {write_figure_csv(fig, args.csv)}")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""DUFS — the Distributed Union File System (the paper's contribution).
+
+DUFS merges N independent parallel-filesystem mounts into one virtual
+POSIX namespace:
+
+- the **directory tree and filename → FID mapping** live in ZooKeeper
+  (:mod:`repro.core.metadata`), so directory operations never touch the
+  back-end storages;
+- each file's contents live on exactly one back-end mount, chosen by the
+  **deterministic mapping function** ``MD5(FID) mod N``
+  (:mod:`repro.core.mapping`) — no coordination needed to locate data;
+- **FIDs** (:mod:`repro.core.fid`) are 128-bit client-unique identifiers
+  (64-bit client id ‖ 64-bit creation counter), so file contents never
+  move or rename when the virtual name changes.
+
+:class:`repro.core.client.DUFSClient` implements the full operation set of
+the paper's prototype; :func:`repro.core.fs.build_dufs_deployment`
+assembles a complete simulated deployment (ZooKeeper ensemble co-located
+with client nodes + back-end filesystems + FUSE mounts).
+"""
+
+from .client import DUFSClient
+from .fid import FID_BITS, FIDGenerator, fid_hex
+from .fs import DUFSDeployment, build_dufs_deployment
+from .mapping import MappingFunction, physical_dirs, physical_path
+from .metadata import DirPayload, FilePayload, SymlinkPayload, decode_payload
+from .rebalance import (
+    Relocation,
+    attach_backend,
+    collect_files,
+    migrate,
+    plan_relocations,
+    rebalance_after_add,
+)
+
+__all__ = [
+    "DUFSClient", "DUFSDeployment", "build_dufs_deployment",
+    "FID_BITS", "FIDGenerator", "fid_hex",
+    "MappingFunction", "physical_dirs", "physical_path",
+    "DirPayload", "FilePayload", "SymlinkPayload", "decode_payload",
+    "Relocation", "attach_backend", "collect_files", "migrate",
+    "plan_relocations", "rebalance_after_add",
+]

@@ -1,0 +1,545 @@
+"""The DUFS client: POSIX operations over ZooKeeper metadata + N back-ends.
+
+Implements the paper's algorithms:
+
+- **Directory and symlink operations are metadata-only** — they touch
+  ZooKeeper and never the back-end storage (§IV-B: "only steps A and B").
+- **File operations** resolve the virtual path to a FID via ZooKeeper, map
+  the FID to a back-end mount with the deterministic function, and operate
+  on the physical path there (§IV-A, Fig. 3).
+- **mkdir** is Fig. 5 verbatim: one znode create, 'File exists' on
+  collision. **stat** is Fig. 6: directory stats are answered from the
+  znode; file stats are forwarded to the physical file.
+- **rename** never moves data: the FID (hence the physical file) is
+  reused under the new name, atomically via a ZooKeeper multi-op.
+
+A DUFS client instance is stateless apart from its FID generator and a
+cache of *physical* hash directories it has already ensured on each
+back-end (the static layout of §IV-G); crash-restart loses nothing
+(§IV-I).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence, Tuple
+
+from ..errors import (
+    EEXIST,
+    EIO,
+    EISDIR,
+    ENOENT,
+    ENOTDIR,
+    ENOTEMPTY,
+    FSError,
+)
+from ..models.params import DUFSParams
+from ..pfs.base import (
+    DEFAULT_DIR_MODE,
+    S_IFDIR,
+    S_IFLNK,
+    S_IFREG,
+    DirEntry,
+    StatResult,
+    normalize_path,
+)
+from ..sim.core import AllOf
+from ..sim.node import Node
+from ..zk.client import ZKClient
+from ..zk.errors import (
+    BadVersionError,
+    NoNodeError,
+    NodeExistsError,
+    NotEmptyError,
+    ZKError,
+)
+from .fid import FIDGenerator
+from .mapping import MappingFunction, physical_dirs, physical_path
+from .metadata import (
+    DirPayload,
+    FilePayload,
+    SymlinkPayload,
+    decode_payload,
+)
+
+
+def _map_zk_error(exc: ZKError, path: str) -> FSError:
+    if isinstance(exc, NoNodeError):
+        return FSError(ENOENT, path)
+    if isinstance(exc, NodeExistsError):
+        return FSError(EEXIST, path)
+    if isinstance(exc, NotEmptyError):
+        return FSError(ENOTEMPTY, path)
+    if isinstance(exc, BadVersionError):
+        return FSError(EIO, path, "metadata version conflict")
+    return FSError(EIO, path, f"coordination service: {exc}")
+
+
+class DUFSClient:
+    """One DUFS client instance (per mount, per node)."""
+
+    def __init__(
+        self,
+        node: Node,
+        zk: ZKClient,
+        backends: Sequence,
+        params: Optional[DUFSParams] = None,
+        mapping: Optional[MappingFunction] = None,
+        client_id: Optional[int] = None,
+        layout: str = "amortized",
+    ):
+        if not backends:
+            raise ValueError("DUFS needs at least one back-end mount")
+        self.node = node
+        self.sim = node.sim
+        self.zk = zk
+        self.backends = list(backends)
+        self.params = params or DUFSParams()
+        self.mapping = mapping or MappingFunction(len(backends))
+        self.layout = layout
+        if self.mapping.n_backends != len(self.backends):
+            raise ValueError("mapping size != number of back-ends")
+        self.fidgen = FIDGenerator(client_id)
+        # Physical hash-directories known to exist, per back-end.
+        self._known_dirs: List[set] = [set() for _ in self.backends]
+        # Virtual paths known to be directories (the kernel dcache the
+        # real prototype gets for free from VFS: parent-type checks are
+        # answered locally after first resolution).
+        self._vdir_cache: set = set()
+        # Open-file-handle table: open() resolves the FID once (Fig. 3
+        # steps A-C); subsequent I/O through the handle goes straight to
+        # the back-end with no further ZooKeeper contact.
+        self._handles: dict = {}
+        self._next_fh = 0
+        self.stats = {"ops": 0, "zk_reads": 0, "zk_writes": 0,
+                      "backend_ops": 0}
+
+    # -- internals ------------------------------------------------------------
+    def _logic(self, *costs: float) -> Generator:
+        yield from self.node.cpu_work(self.params.client_logic_cpu
+                                      + sum(costs))
+
+    def _get_payload(self, path: str) -> Generator:
+        """Znode lookup (step B of Fig. 3): payload + znode stat."""
+        self.stats["zk_reads"] += 1
+        try:
+            data, zstat = yield from self.zk.get(path)
+        except NoNodeError:
+            raise (yield from self._resolve_error(path)) from None
+        except ZKError as exc:
+            raise _map_zk_error(exc, path) from None
+        return decode_payload(data), zstat
+
+    def _resolve_error(self, path: str) -> Generator:
+        """POSIX path-walk error: a missing path is ENOTDIR when the
+        nearest existing ancestor is not a directory, else ENOENT. (The
+        kernel performs this walk before FUSE; we pay the znode reads only
+        on error paths.)"""
+        parent = path.rsplit("/", 1)[0] or "/"
+        while parent != "/":
+            if parent in self._vdir_cache:
+                return FSError(ENOENT, path)
+            self.stats["zk_reads"] += 1
+            try:
+                data, _ = yield from self.zk.get(parent)
+            except ZKError:
+                parent = parent.rsplit("/", 1)[0] or "/"
+                continue
+            if isinstance(decode_payload(data), DirPayload):
+                self._vdir_cache.add(parent)
+                return FSError(ENOENT, path)
+            return FSError(ENOTDIR, path)
+        return FSError(ENOENT, path)
+
+    def _check_parent_dir(self, path: str) -> Generator:
+        """POSIX: the parent of a new entry must exist and be a directory.
+
+        The kernel resolves this from its dcache before FUSE ever sees the
+        call; we emulate that with a per-mount cache of known directories,
+        falling back to one znode read on a cold path.
+        """
+        parent = path.rsplit("/", 1)[0] or "/"
+        if parent == "/" or parent in self._vdir_cache:
+            return
+        payload, _ = yield from self._get_payload(parent)
+        if not isinstance(payload, DirPayload):
+            raise FSError(ENOTDIR, path)
+        self._vdir_cache.add(parent)
+
+    def _locate(self, fid: int) -> Tuple[int, str]:
+        """Steps C/D of Fig. 3: deterministic mapping, physical path."""
+        backend = self.mapping.backend_for(fid)
+        return backend, physical_path(fid, self.layout)
+
+    def _ensure_physical_dirs(self, backend: int, fid: int) -> Generator:
+        """mkdir -p of the static hash-directory chain (cached)."""
+        cache = self._known_dirs[backend]
+        be = self.backends[backend]
+        for d in physical_dirs(fid, self.layout):
+            if d in cache:
+                continue
+            try:
+                yield from be.mkdir(d)
+            except FSError as exc:
+                if exc.err != EEXIST:
+                    raise
+            cache.add(d)
+
+    # -- directory operations (ZooKeeper only) ------------------------------
+    def mkdir(self, path: str, mode: int = 0o755) -> Generator:
+        """Paper Fig. 5."""
+        path = normalize_path(path)
+        self.stats["ops"] += 1
+        yield from self._logic(self.params.znode_codec_cpu)
+        yield from self._check_parent_dir(path)
+        self.stats["zk_writes"] += 1
+        try:
+            yield from self.zk.create(path, DirPayload(mode).encode())
+        except ZKError as exc:
+            raise _map_zk_error(exc, path) from None
+        self._vdir_cache.add(path)
+        return True
+
+    def rmdir(self, path: str) -> Generator:
+        path = normalize_path(path)
+        self.stats["ops"] += 1
+        yield from self._logic(self.params.znode_codec_cpu)
+        payload, _ = yield from self._get_payload(path)
+        if not isinstance(payload, DirPayload):
+            raise FSError(ENOTDIR, path)
+        self.stats["zk_writes"] += 1
+        try:
+            yield from self.zk.delete(path)
+        except ZKError as exc:
+            raise _map_zk_error(exc, path) from None
+        self._vdir_cache.discard(path)
+        return True
+
+    def readdir(self, path: str) -> Generator:
+        path = normalize_path(path)
+        self.stats["ops"] += 1
+        yield from self._logic()
+        self.stats["zk_reads"] += 1
+        try:
+            names = yield from self.zk.get_children(path)
+        except ZKError as exc:
+            raise _map_zk_error(exc, path) from None
+        # readdir-plus: fetch child types in parallel (FUSE fill_dir).
+        prefix = path if path != "/" else ""
+        procs = [self.node.spawn(self._get_payload(f"{prefix}/{n}"))
+                 for n in names]
+        if procs:
+            yield AllOf(self.sim, procs)
+        out = []
+        for name, proc in zip(names, procs):
+            payload, zstat = proc.value
+            out.append(DirEntry(name, isinstance(payload, DirPayload)))
+        return out
+
+    # -- stat (paper Fig. 6) -----------------------------------------------------
+    def stat(self, path: str) -> Generator:
+        path = normalize_path(path)
+        self.stats["ops"] += 1
+        yield from self._logic(self.params.znode_codec_cpu)
+        if path == "/":
+            return StatResult(st_mode=DEFAULT_DIR_MODE, st_ino=1, st_nlink=2)
+        payload, zstat = yield from self._get_payload(path)
+        if isinstance(payload, DirPayload):
+            # Satisfied at the ZooKeeper level (no back-end contact).
+            return StatResult(
+                st_mode=S_IFDIR | payload.mode,
+                st_ino=zstat.czxid & 0x7FFFFFFF,
+                st_nlink=2 + zstat.num_children,
+                st_uid=payload.uid, st_gid=payload.gid,
+                st_size=0,
+                st_atime=zstat.mtime or zstat.ctime,
+                st_mtime=zstat.mtime or zstat.ctime,
+                st_ctime=zstat.ctime)
+        if isinstance(payload, SymlinkPayload):
+            return StatResult(st_mode=S_IFLNK | 0o777,
+                              st_ino=zstat.czxid & 0x7FFFFFFF,
+                              st_size=len(payload.target),
+                              st_atime=zstat.ctime, st_mtime=zstat.ctime,
+                              st_ctime=zstat.ctime)
+        yield from self._logic(self.params.mapping_cpu)
+        backend, ppath = self._locate(payload.fid)
+        self.stats["backend_ops"] += 1
+        st = yield from self.backends[backend].stat(ppath)
+        st.st_mode = S_IFREG | (st.st_mode & 0o7777)
+        return st
+
+    def access(self, path: str, mode: int = 0) -> Generator:
+        yield from self.stat(path)
+        return True
+
+    # -- file operations -----------------------------------------------------
+    def create(self, path: str, mode: int = 0o644) -> Generator:
+        path = normalize_path(path)
+        self.stats["ops"] += 1
+        yield from self._logic(self.params.fid_generate_cpu,
+                               self.params.mapping_cpu,
+                               self.params.znode_codec_cpu)
+        yield from self._check_parent_dir(path)
+        fid = self.fidgen.next()
+        backend, ppath = self._locate(fid)
+        yield from self._ensure_physical_dirs(backend, fid)
+        self.stats["backend_ops"] += 1
+        yield from self.backends[backend].create(ppath, mode)
+        self.stats["zk_writes"] += 1
+        try:
+            yield from self.zk.create(path, FilePayload(fid, mode).encode())
+        except ZKError as exc:
+            # Roll the physical file back; the name was never published.
+            try:
+                yield from self.backends[backend].unlink(ppath)
+            except FSError:
+                pass
+            raise _map_zk_error(exc, path) from None
+        return True
+
+    def unlink(self, path: str) -> Generator:
+        path = normalize_path(path)
+        self.stats["ops"] += 1
+        yield from self._logic(self.params.znode_codec_cpu)
+        payload, _ = yield from self._get_payload(path)
+        if isinstance(payload, DirPayload):
+            raise FSError(EISDIR, path)
+        self.stats["zk_writes"] += 1
+        try:
+            yield from self.zk.delete(path)
+        except ZKError as exc:
+            raise _map_zk_error(exc, path) from None
+        if isinstance(payload, FilePayload):
+            yield from self._logic(self.params.mapping_cpu)
+            backend, ppath = self._locate(payload.fid)
+            self.stats["backend_ops"] += 1
+            try:
+                yield from self.backends[backend].unlink(ppath)
+            except FSError as exc:
+                if exc.err != ENOENT:
+                    raise
+        return True
+
+    def _resolve_file(self, path: str, flags: int = 0) -> Generator:
+        """Paper Fig. 3 steps A-D; returns (backend index, physical path)."""
+        path = normalize_path(path)
+        self.stats["ops"] += 1
+        yield from self._logic(self.params.znode_codec_cpu,
+                               self.params.mapping_cpu)
+        payload, _ = yield from self._get_payload(path)
+        if isinstance(payload, DirPayload):
+            raise FSError(EISDIR, path)
+        if isinstance(payload, SymlinkPayload):
+            result = yield from self._resolve_file(payload.target, flags)
+            return result
+        backend, ppath = self._locate(payload.fid)
+        self.stats["backend_ops"] += 1
+        yield from self.backends[backend].open(ppath, flags)
+        return (backend, ppath)
+
+    def open(self, path: str, flags: int = 0) -> Generator:
+        """Open and register a file handle. The FID resolution happens
+        exactly once here; pread/pwrite through the handle never contact
+        ZooKeeper again (the indirection of Fig. 2 is fully resolved)."""
+        backend, ppath = yield from self._resolve_file(path, flags)
+        self._next_fh += 1
+        fh = self._next_fh
+        self._handles[fh] = (backend, ppath)
+        return fh
+
+    def release(self, fh: int) -> Generator:
+        yield from self._logic()
+        if self._handles.pop(fh, None) is None:
+            from ..errors import EBADF
+            raise FSError(EBADF, msg=f"bad file handle {fh}")
+        return True
+
+    def _handle(self, fh: int):
+        entry = self._handles.get(fh)
+        if entry is None:
+            from ..errors import EBADF
+            raise FSError(EBADF, msg=f"bad file handle {fh}")
+        return entry
+
+    def pread(self, fh: int, offset: int, size: int) -> Generator:
+        """Read through an open handle — back-end only, no ZooKeeper."""
+        backend, ppath = self._handle(fh)
+        self.stats["backend_ops"] += 1
+        result = yield from self.backends[backend].read(ppath, offset, size)
+        return result
+
+    def pwrite(self, fh: int, offset: int, data: bytes) -> Generator:
+        backend, ppath = self._handle(fh)
+        self.stats["backend_ops"] += 1
+        result = yield from self.backends[backend].write(ppath, offset, data)
+        return result
+
+    def read(self, path: str, offset: int, size: int) -> Generator:
+        backend, ppath = yield from self._resolve_file(path)
+        result = yield from self.backends[backend].read(ppath, offset, size)
+        return result
+
+    def write(self, path: str, offset: int, data: bytes) -> Generator:
+        backend, ppath = yield from self._resolve_file(path)
+        result = yield from self.backends[backend].write(ppath, offset, data)
+        return result
+
+    def truncate(self, path: str, size: int) -> Generator:
+        backend, ppath = yield from self._resolve_file(path)
+        yield from self.backends[backend].truncate(ppath, size)
+        return True
+
+    def statfs(self) -> Generator:
+        """Aggregate statfs over every back-end mount (union semantics)."""
+        from ..pfs.base import StatVFS
+
+        yield from self._logic()
+        total = StatVFS(f_capacity=0)
+        for be in self.backends:
+            if hasattr(be, "statfs"):
+                self.stats["backend_ops"] += 1
+                vfs = yield from be.statfs()
+                total = total.merge(vfs)
+        return total
+
+    def chmod(self, path: str, mode: int) -> Generator:
+        path = normalize_path(path)
+        self.stats["ops"] += 1
+        yield from self._logic(self.params.znode_codec_cpu)
+        payload, zstat = yield from self._get_payload(path)
+        if isinstance(payload, DirPayload):
+            new = DirPayload(mode & 0o7777, payload.uid, payload.gid)
+            self.stats["zk_writes"] += 1
+            try:
+                yield from self.zk.set_data(path, new.encode(),
+                                            version=zstat.version)
+            except ZKError as exc:
+                raise _map_zk_error(exc, path) from None
+            return True
+        if isinstance(payload, SymlinkPayload):
+            return True  # chmod on symlinks is a no-op
+        backend, ppath = self._locate(payload.fid)
+        self.stats["backend_ops"] += 1
+        yield from self.backends[backend].chmod(ppath, mode)
+        # Keep the znode's cached mode in sync (best effort).
+        new = FilePayload(payload.fid, mode & 0o7777)
+        self.stats["zk_writes"] += 1
+        try:
+            yield from self.zk.set_data(path, new.encode())
+        except ZKError:
+            pass
+        return True
+
+    # -- symlinks (metadata only) ------------------------------------------------
+    def symlink(self, target: str, linkpath: str) -> Generator:
+        linkpath = normalize_path(linkpath)
+        self.stats["ops"] += 1
+        yield from self._logic(self.params.znode_codec_cpu)
+        yield from self._check_parent_dir(linkpath)
+        self.stats["zk_writes"] += 1
+        try:
+            yield from self.zk.create(linkpath,
+                                      SymlinkPayload(target).encode())
+        except ZKError as exc:
+            raise _map_zk_error(exc, linkpath) from None
+        return True
+
+    def readlink(self, path: str) -> Generator:
+        path = normalize_path(path)
+        self.stats["ops"] += 1
+        yield from self._logic(self.params.znode_codec_cpu)
+        payload, _ = yield from self._get_payload(path)
+        if not isinstance(payload, SymlinkPayload):
+            raise FSError(EIO, path, "not a symlink")
+        return payload.target
+
+    # -- rename (atomic, data never moves) -----------------------------------
+    def rename(self, src: str, dst: str) -> Generator:
+        src, dst = normalize_path(src), normalize_path(dst)
+        self.stats["ops"] += 1
+        yield from self._logic(self.params.znode_codec_cpu)
+        payload, zstat = yield from self._get_payload(src)
+        if src == dst:
+            return True  # POSIX: same-path rename is a no-op (post-check)
+        yield from self._check_parent_dir(dst)
+        if isinstance(payload, DirPayload):
+            result = yield from self._rename_dir(src, dst)
+            return result
+        dst_payload = None
+        try:
+            dst_payload, _ = yield from self._get_payload(dst)
+        except FSError as exc:
+            if exc.err != ENOENT:
+                raise
+        if isinstance(dst_payload, DirPayload):
+            raise FSError(EISDIR, dst)
+        ops = []
+        if dst_payload is not None:
+            ops.append(self.zk.op_delete(dst))
+        ops.append(self.zk.op_create(dst, payload.encode()))
+        ops.append(self.zk.op_delete(src))
+        self.stats["zk_writes"] += 1
+        try:
+            yield from self.zk.multi(ops)
+        except ZKError as exc:
+            raise _map_zk_error(exc, dst) from None
+        # Overwritten file's contents are garbage-collected.
+        if isinstance(dst_payload, FilePayload):
+            backend, ppath = self._locate(dst_payload.fid)
+            self.stats["backend_ops"] += 1
+            try:
+                yield from self.backends[backend].unlink(ppath)
+            except FSError:
+                pass
+        return True
+
+    def _rename_dir(self, src: str, dst: str) -> Generator:
+        """Atomic subtree move: recreate every znode under the new prefix
+        and delete the old ones, in ONE ZooKeeper multi — the whole rename
+        is a single total-order event (the Fig. 1 problem never arises)."""
+        if dst.startswith(src + "/"):
+            from ..errors import EINVAL
+            raise FSError(EINVAL, dst, "rename into own subtree")
+        subtree = yield from self._collect_subtree(src)
+        dst_payload = None
+        try:
+            dst_payload, _ = yield from self._get_payload(dst)
+        except FSError as exc:
+            if exc.err != ENOENT:
+                raise
+        ops = []
+        if dst_payload is not None:
+            if not isinstance(dst_payload, DirPayload):
+                raise FSError(ENOTDIR, dst)
+            ops.append(self.zk.op_delete(dst))  # fails NotEmpty if non-empty
+        for path, data in subtree:  # parents first
+            ops.append(self.zk.op_create(dst + path[len(src):], data))
+        for path, _ in reversed(subtree):  # children first
+            ops.append(self.zk.op_delete(path))
+        self.stats["zk_writes"] += 1
+        try:
+            yield from self.zk.multi(ops)
+        except ZKError as exc:
+            raise _map_zk_error(exc, dst) from None
+        # Every cached dir path under the old prefix is now stale.
+        for cached in [c for c in self._vdir_cache
+                       if c == src or c.startswith(src + "/")]:
+            self._vdir_cache.discard(cached)
+        return True
+
+    def _collect_subtree(self, root: str) -> Generator:
+        """Depth-first (path, payload-bytes) listing of a virtual subtree."""
+        out = []
+        stack = [root]
+        while stack:
+            path = stack.pop()
+            self.stats["zk_reads"] += 1
+            try:
+                data, _ = yield from self.zk.get(path)
+                names = yield from self.zk.get_children(path)
+            except ZKError as exc:
+                raise _map_zk_error(exc, path) from None
+            out.append((path, data))
+            prefix = path if path != "/" else ""
+            stack.extend(f"{prefix}/{n}" for n in reversed(sorted(names)))
+        out.sort(key=lambda item: item[0].count("/"))  # parents first
+        return out

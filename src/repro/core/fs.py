@@ -1,0 +1,138 @@
+"""DUFS deployment assembly.
+
+Reproduces the paper's testbed topology (§V): a set of client nodes, each
+running the FUSE-mounted DUFS client, with the ZooKeeper servers
+*co-located on the client nodes* ("ZooKeeper server runs along with the
+DUFS clients"), and N independent back-end parallel filesystems on
+dedicated server nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, List, Optional, Sequence
+
+from ..fuse.mount import FuseMount
+from ..fuse.ops import OperationTable
+from ..models.params import SimParams
+from ..pfs.localfs import LocalFS
+from ..pfs.lustre.fs import build_lustre
+from ..pfs.pvfs.fs import build_pvfs
+from ..sim.node import Cluster, Node
+from ..zk.client import ZKClient
+from ..zk.ensemble import ZKEnsemble, build_ensemble
+from .client import DUFSClient
+from .mapping import MappingFunction
+
+
+@dataclass
+class DUFSDeployment:
+    """A fully wired simulated DUFS installation."""
+
+    cluster: Cluster
+    params: SimParams
+    client_nodes: List[Node]
+    ensemble: ZKEnsemble
+    backends: List[Any]                 # LustreFS | PVFSFS | LocalFS
+    clients: List[DUFSClient]           # one per client node
+    mounts: List[FuseMount]             # FUSE wrapper per client node
+    zk_clients: List[ZKClient]
+
+    def mount_for(self, process_index: int) -> FuseMount:
+        """The FUSE mount a given client process uses (processes are
+        spread round-robin over the client nodes, as mdtest ranks are)."""
+        return self.mounts[process_index % len(self.mounts)]
+
+    def node_for(self, process_index: int) -> Node:
+        return self.client_nodes[process_index % len(self.client_nodes)]
+
+    def call(self, genfunc, *args) -> Any:
+        """Run one client coroutine to completion (convenience for
+        examples/tests): ``dep.call(dep.mounts[0].mkdir, "/x")``."""
+        proc = self.client_nodes[0].spawn(genfunc(*args))
+        return self.cluster.sim.run(until=proc)
+
+    def run(self, until=None):
+        return self.cluster.run(until)
+
+
+def _build_backends(cluster: Cluster, kind: str, n_backends: int,
+                    params: SimParams, n_oss: int, pvfs_servers: int):
+    backends = []
+    for b in range(n_backends):
+        if kind == "lustre":
+            backends.append(build_lustre(cluster, f"lustre{b}", n_oss=n_oss,
+                                         params=params.lustre))
+        elif kind == "pvfs":
+            backends.append(build_pvfs(cluster, f"pvfs{b}",
+                                       n_servers=pvfs_servers,
+                                       params=params.pvfs))
+        elif kind == "local":
+            node = cluster.add_node(f"local{b}", cores=params.node_cores)
+            backends.append(LocalFS(node))
+        else:
+            raise ValueError(f"unknown backend kind {kind!r}")
+    return backends
+
+
+def build_dufs_deployment(
+    n_zk: int = 8,
+    n_backends: int = 2,
+    n_client_nodes: int = 8,
+    backend: str = "local",
+    params: Optional[SimParams] = None,
+    n_oss_per_lustre: int = 1,
+    pvfs_servers_per_instance: int = 2,
+    co_locate_zk: bool = True,
+    mapping_strategy: str = "md5mod",
+    seed: int = 0,
+    zk_request_timeout: Optional[float] = None,
+    zk_max_retries: int = 0,
+) -> DUFSDeployment:
+    """Wire up a complete DUFS installation on a fresh simulated cluster.
+
+    ``backend`` selects the physical filesystems being merged: ``"lustre"``
+    (each instance = 1 MDS + ``n_oss_per_lustre`` OSS),  ``"pvfs"`` (each
+    instance = ``pvfs_servers_per_instance`` combined metadata/data
+    servers) or ``"local"`` (cheap in-memory, for tests/examples).
+    """
+    params = params or SimParams()
+    cluster = Cluster(seed=seed if seed else params.seed)
+    client_nodes = [cluster.add_node(f"client{i}", cores=params.node_cores)
+                    for i in range(n_client_nodes)]
+    if co_locate_zk:
+        zk_nodes: Sequence[Node] = client_nodes
+    else:
+        zk_nodes = [cluster.add_node(f"zknode{i}", cores=params.node_cores)
+                    for i in range(n_zk)]
+    ensemble = build_ensemble(cluster, zk_nodes, n_zk, params=params.zk)
+    backends = _build_backends(cluster, backend, n_backends, params,
+                               n_oss_per_lustre, pvfs_servers_per_instance)
+
+    clients, mounts, zk_clients = [], [], []
+    for i, node in enumerate(client_nodes):
+        # Prefer the co-located ZooKeeper server; else round-robin.
+        if co_locate_zk and i < n_zk:
+            prefer = ensemble.endpoints[i]
+        else:
+            prefer = ensemble.server_for(i)
+        zkc = ZKClient(node, ensemble.endpoints, prefer=prefer,
+                       request_timeout=zk_request_timeout,
+                       max_retries=zk_max_retries, name=f"dufszk{i}")
+        backend_clients = [
+            be.client(node) if backend != "local" else be.client()
+            for be in backends
+        ]
+        mapping = MappingFunction(n_backends, strategy=mapping_strategy)
+        # Deterministic per-deployment client ids (a high offset keeps them
+        # disjoint from the global allocator used by ad-hoc clients), so
+        # identical seeds produce identical FIDs and placements.
+        dufs = DUFSClient(node, zkc, backend_clients, params=params.dufs,
+                          mapping=mapping, client_id=0x5EED0000 + i)
+        mount = FuseMount(node, OperationTable.from_client(dufs),
+                          params=params.fuse, name=f"dufs{i}")
+        clients.append(dufs)
+        mounts.append(mount)
+        zk_clients.append(zkc)
+    return DUFSDeployment(cluster, params, client_nodes, ensemble, backends,
+                          clients, mounts, zk_clients)

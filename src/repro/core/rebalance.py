@@ -1,0 +1,142 @@
+"""Elastic back-end management (the paper's §VII future work, as a tool).
+
+With the consistent-hashing mapping, adding or removing a back-end mount
+relocates only ~K/N files. This module provides the operational pieces:
+
+- :func:`collect_files` — walk the virtual namespace and return every
+  (virtual path, FID) pair, from ZooKeeper alone.
+- :func:`attach_backend` — register a new mount with every DUFS client
+  and grow the shared mapping.
+- :func:`plan_relocations` — diff old vs new placement.
+- :func:`migrate` — move each relocated file's physical contents to its
+  new mount (create + size-copy + unlink; simulated back-ends model file
+  contents by size except the local FS, which carries real bytes).
+
+All functions are generators driven inside a simulation process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, List, Sequence, Tuple
+
+from ..errors import EEXIST, ENOENT, FSError
+from .client import DUFSClient
+from .mapping import physical_path
+from .metadata import FilePayload, decode_payload
+
+
+@dataclass(frozen=True)
+class Relocation:
+    vpath: str
+    fid: int
+    src_backend: int
+    dst_backend: int
+
+
+def collect_files(client: DUFSClient, root: str = "/") -> Generator:
+    """All (virtual path, FID) pairs under ``root`` (ZooKeeper walk)."""
+    out: List[Tuple[str, int]] = []
+    stack = [root]
+    while stack:
+        path = stack.pop()
+        try:
+            data, _ = yield from client.zk.get(path)
+            names = yield from client.zk.get_children(path)
+        except Exception:
+            continue
+        if path != "/":
+            payload = decode_payload(data)
+            if isinstance(payload, FilePayload):
+                out.append((path, payload.fid))
+                continue
+        prefix = path if path != "/" else ""
+        stack.extend(f"{prefix}/{n}" for n in names)
+    return out
+
+
+def attach_backend(clients: Sequence[DUFSClient], backend_client_for:
+                   Callable[[DUFSClient], object]) -> int:
+    """Register a new mount with every client; returns its index.
+
+    Requires the consistent-hashing mapping (MD5-mod-N cannot grow; the
+    mapping raises otherwise — the exact limitation §VII sets out to fix).
+    """
+    new_index = None
+    for client in clients:
+        idx = client.mapping.add_backend()
+        client.backends.append(backend_client_for(client))
+        client._known_dirs.append(set())
+        if new_index is None:
+            new_index = idx
+        elif idx != new_index:
+            raise RuntimeError("clients' mappings out of sync")
+    assert new_index is not None
+    return new_index
+
+
+def plan_relocations(client: DUFSClient, files: Sequence[Tuple[str, int]],
+                     old_backend_for: Callable[[int], int]) -> List[Relocation]:
+    """Which files moved? (pure function of the two mappings)."""
+    out = []
+    for vpath, fid in files:
+        src = old_backend_for(fid)
+        dst = client.mapping.backend_for(fid)
+        if src != dst:
+            out.append(Relocation(vpath, fid, src, dst))
+    return out
+
+
+def migrate(client: DUFSClient, relocations: Sequence[Relocation]) -> Generator:
+    """Physically move each relocated file to its new mount.
+
+    Idempotent: files already present at the destination (from an earlier,
+    interrupted run) are skipped; missing sources are tolerated the same
+    way. Returns the number of files actually moved.
+    """
+    moved = 0
+    for rel in relocations:
+        ppath = physical_path(rel.fid, client.layout)
+        src = client.backends[rel.src_backend]
+        dst = client.backends[rel.dst_backend]
+        try:
+            st = yield from src.stat(ppath)
+        except FSError as exc:
+            if exc.err == ENOENT:
+                continue  # already migrated (or never written)
+            raise
+        yield from client._ensure_physical_dirs(rel.dst_backend, rel.fid)
+        try:
+            yield from dst.create(ppath)
+        except FSError as exc:
+            if exc.err != EEXIST:
+                raise
+        if st.st_size:
+            yield from dst.truncate(ppath, st.st_size)
+        yield from src.unlink(ppath)
+        moved += 1
+    return moved
+
+
+def rebalance_after_add(clients: Sequence[DUFSClient],
+                        backend_client_for: Callable[[DUFSClient], object],
+                        ) -> Generator:
+    """One-call convenience: attach a mount, plan, and migrate.
+
+    Drives everything through ``clients[0]``; returns (new index, number
+    of files moved, number of files total).
+    """
+    coordinator = clients[0]
+    files = yield from collect_files(coordinator)
+    old_mapping = coordinator.mapping
+
+    def old_backend_for(fid: int) -> int:
+        return old_mapping.backend_for(fid)
+
+    # Snapshot old placement BEFORE growing the ring.
+    old_placement = {fid: old_backend_for(fid) for _, fid in files}
+    new_index = attach_backend(clients, backend_client_for)
+    relocations = plan_relocations(
+        coordinator, files, lambda fid: old_placement[fid])
+    moved = yield from migrate(coordinator, relocations)
+    return new_index, moved, len(files)

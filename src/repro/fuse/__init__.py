@@ -1,0 +1,14 @@
+"""Filesystem-in-Userspace layer.
+
+:class:`FuseMount` models what the kernel module + libfuse add around a
+userspace filesystem: a fixed user/kernel crossing cost per VFS call on the
+calling node, and the dispatch from VFS operations to the filesystem's
+operation table. DUFS and the dummy passthrough filesystem both sit behind
+it, exactly like the paper's prototype (§IV-C).
+"""
+
+from .dummy import DummyFS
+from .mount import FuseMount
+from .ops import FUSE_OPERATIONS, OperationTable
+
+__all__ = ["DummyFS", "FuseMount", "FUSE_OPERATIONS", "OperationTable"]

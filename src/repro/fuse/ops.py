@@ -1,0 +1,80 @@
+"""The FUSE operation table.
+
+Mirrors ``struct fuse_operations``: a mapping from VFS operation names to
+the userspace handlers a filesystem registers. :class:`FuseMount` consults
+it on every intercepted call — unimplemented operations fail with ENOSYS,
+as libfuse does.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+#: The operations the paper's DUFS prototype implements (§IV-C): "mkdir,
+#: create, open, symlink, rename, stat, readdir, rmdir, unlink, truncate,
+#: chmod, access, read, write" (open/close and readlink implied).
+FUSE_OPERATIONS = (
+    "getattr",   # stat()
+    "mkdir",
+    "rmdir",
+    "create",
+    "unlink",
+    "open",
+    "release",
+    "readdir",
+    "rename",
+    "chmod",
+    "truncate",
+    "access",
+    "symlink",
+    "readlink",
+    "read",
+    "write",
+    "statfs",
+)
+
+
+class OperationTable:
+    """Registered userspace handlers, keyed by FUSE operation name."""
+
+    def __init__(self, handlers: Optional[Dict[str, Callable]] = None):
+        self._handlers: Dict[str, Callable] = {}
+        for name, fn in (handlers or {}).items():
+            self.register(name, fn)
+
+    def register(self, name: str, fn: Callable) -> None:
+        if name not in FUSE_OPERATIONS:
+            raise ValueError(f"unknown FUSE operation {name!r}")
+        self._handlers[name] = fn
+
+    def get(self, name: str) -> Optional[Callable]:
+        return self._handlers.get(name)
+
+    def implemented(self) -> list:
+        return sorted(self._handlers)
+
+    @classmethod
+    def from_client(cls, client) -> "OperationTable":
+        """Build a table from any :class:`FileSystemClient`-shaped object."""
+        mapping = {
+            "getattr": client.stat,
+            "mkdir": client.mkdir,
+            "rmdir": client.rmdir,
+            "create": client.create,
+            "unlink": client.unlink,
+            "open": client.open,
+            "readdir": client.readdir,
+            "rename": client.rename,
+            "chmod": client.chmod,
+            "truncate": client.truncate,
+            "access": client.access,
+            "symlink": client.symlink,
+            "readlink": client.readlink,
+            "read": client.read,
+            "write": client.write,
+        }
+        if hasattr(client, "statfs"):
+            mapping["statfs"] = client.statfs
+        if hasattr(client, "release"):
+            mapping["release"] = client.release
+        return cls(mapping)

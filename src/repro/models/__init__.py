@@ -1,0 +1,16 @@
+"""Calibrated performance models: service-time parameters and memory accounting."""
+
+from .memory import MemoryModel, ZNODE_BYTES_PER_MILLION_MB
+from .params import (
+    DUFSParams,
+    FUSEParams,
+    LustreParams,
+    PVFSParams,
+    SimParams,
+    ZKParams,
+)
+
+__all__ = [
+    "DUFSParams", "FUSEParams", "LustreParams", "PVFSParams", "SimParams",
+    "ZKParams", "MemoryModel", "ZNODE_BYTES_PER_MILLION_MB",
+]

@@ -1,0 +1,200 @@
+"""Service-time parameters for every simulated component.
+
+All times are seconds of *service demand* (CPU occupancy or disk latency),
+not end-to-end latencies; end-to-end behaviour emerges from contention in
+the simulator. Defaults are calibrated against the paper's testbed (dual
+Xeon E5335 = 8 cores/node, 1 GigE, Lustre 1.8.3, PVFS 2.8.2, ZooKeeper of
+that era) so that the simulated throughput curves land near the published
+figures. The calibration procedure and resulting paper-vs-measured numbers
+are recorded in EXPERIMENTS.md.
+
+Every parameter can be overridden per-experiment; the ablation benchmarks
+do exactly that (e.g. disabling DLM lock callbacks, changing group-commit
+batching).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass
+class ZKParams:
+    """ZooKeeper server cost model.
+
+    The read path is one local in-memory lookup; the write path is the ZAB
+    pipeline: leader request processing grows with ensemble size (it must
+    stream a proposal to, and absorb an ack from, every follower), while
+    followers pay logging and apply costs. Log writes are group-committed
+    (one fsync covers a batch), as the real server does.
+    """
+
+    read_cpu: float = 380e-6           # serve get/exists/get_children locally
+    write_leader_cpu: float = 470e-6   # validate + zxid + self-log (CPU part)
+    write_per_follower_cpu: float = 105e-6  # marshal PROPOSE + absorb ACK
+    # set/delete pay extra base work (version check, watch sweep, parent
+    # cversion update) — visible at 1 server, washed out by quorum cost at
+    # 8 (the Fig. 7 a-vs-b/c asymmetry).
+    set_extra_cpu: float = 370e-6
+    delete_extra_cpu: float = 370e-6
+    follower_log_cpu: float = 95e-6   # deserialize + append to txn log
+    apply_cpu: float = 60e-6           # apply committed txn to the tree
+    log_delay: float = 350e-6          # group-committed fsync latency (pipelined)
+    log_batch_max: int = 64            # max txns covered by one fsync
+    forward_cpu: float = 40e-6         # follower forwards a write to leader
+    session_cpu: float = 100e-6
+
+    # message sizes (bytes)
+    req_base_size: int = 120
+    resp_base_size: int = 112
+    proposal_base_size: int = 160
+
+    # Automatic snapshot+log-truncate interval (0 = only explicit
+    # checkpoint() calls). The paper: "it is periodically checkpointed".
+    checkpoint_interval: float = 0.0
+
+    # session liveness (enabled only in reliability experiments)
+    session_tracking: bool = False
+    session_timeout: float = 1.2
+
+    # failure detection / election (enabled only in reliability experiments)
+    failure_detection: bool = False
+    ping_interval: float = 0.15
+    ping_timeout: float = 0.45
+    election_tick: float = 0.08
+
+
+@dataclass
+class LustreParams:
+    """Single-MDS Lustre model (version 1.8.x era).
+
+    ``mds_cores`` bounds aggregate metadata throughput. The DLM grants
+    clients cached locks on directories they look up; any namespace change
+    under a directory revokes other clients' cached locks (callback RPCs) —
+    with many clients hammering a shared tree this traffic plus the growing
+    lock table is what bends Lustre's throughput *down* past ~128 procs,
+    exactly the shape in Fig. 8/10.
+    """
+
+    mds_cores: int = 8
+    oss_cores: int = 8
+
+    # MDS CPU demand per operation type
+    mkdir_cpu: float = 0.84e-3
+    rmdir_cpu: float = 0.72e-3
+    create_cpu: float = 0.47e-3       # open+create with intent (precreated objects)
+    unlink_cpu: float = 0.60e-3
+    getattr_cpu: float = 0.150e-3     # stat of a directory (MDS only)
+    getattr_file_cpu: float = 0.185e-3  # stat of a file (MDS part)
+    lookup_cpu: float = 0.12e-3
+    readdir_cpu_per_entry: float = 3.0e-6
+    readdir_cpu_base: float = 0.2e-3
+    rename_cpu: float = 1.3e-3
+    setattr_cpu: float = 0.5e-3
+
+    # OSS costs
+    glimpse_cpu: float = 400e-6         # file-size glimpse on stat
+    object_create_cpu: float = 120e-6  # amortized (precreation batches)
+    object_destroy_cpu: float = 150e-6
+
+    # DLM model
+    dlm_enabled: bool = True
+    revoke_cpu: float = 35e-6          # MDS CPU to issue one blocking callback
+    client_cancel_cpu: float = 25e-6   # client CPU to cancel a cached lock
+    lock_grant_cpu: float = 18e-6
+    # MDS bookkeeping grows with resident lock count (hash/LRU pressure):
+    lock_table_cpu_coef: float = 9e-6  # × ln(1 + locks/1024) added per op
+
+    # Service-thread thrashing: per-request cost multiplier
+    # 1 + thrash_coef * inflight / thrash_norm (inflight = queue depth at
+    # the MDS). Lustre 1.8's fixed thread pool degrades under deep queues.
+    thrash_coef: float = 0.55
+    thrash_read_coef: float = 0.12
+    thrash_norm: float = 64.0
+
+    # journal (group-committed; pipelined latency, not a throughput cap)
+    journal_delay: float = 0.4e-3
+
+    # Client RPC timeout (None = infinite). Set in failover configurations
+    # so clients detect a dead MDS and retry against the standby.
+    client_rpc_timeout: float | None = None
+    # Standby takeover delay: detect + mount shared MDT + replay journal.
+    failover_takeover_delay: float = 2.0
+
+    # directory entry ops slow down logarithmically with directory size
+    dirent_cpu_coef: float = 18e-6     # × ln(1 + entries)
+
+
+@dataclass
+class PVFSParams:
+    """PVFS2 model (version 2.8.x era).
+
+    PVFS2 has no client caching and no locks; every operation resolves the
+    path component-by-component with a server RPC per component, and
+    mutations are synchronous Berkeley-DB transactions on the owning
+    server's disk. Creates additionally allocate one datafile handle on
+    every I/O server. This combination is why PVFS2's create rates are two
+    orders of magnitude below DUFS in Fig. 10 while its read-only rates are
+    merely a few times slower.
+    """
+
+    n_servers: int = 4
+    server_cores: int = 2              # request-processing effective parallelism
+    lookup_cpu: float = 60e-6          # resolve one path component
+    getattr_cpu: float = 80e-6
+    getattr_dfile_cpu: float = 36e-6   # per-datafile size probe on file stat
+    create_meta_cpu: float = 260e-6
+    create_dfile_cpu: float = 140e-6   # per I/O server datafile create
+    crdirent_cpu: float = 220e-6       # insert dirent into parent
+    remove_cpu: float = 240e-6
+    mkdir_cpu: float = 300e-6
+    readdir_cpu_base: float = 180e-6
+    readdir_cpu_per_entry: float = 2.5e-6
+    setattr_cpu: float = 180e-6
+
+    # synchronous metadata commits (BDB txn + fdatasync); serialized per disk
+    disk_txn: float = 8.0e-3
+    disk_batch_max: int = 1            # dbpf fsyncs each metadata txn
+
+
+@dataclass
+class FUSEParams:
+    """User/kernel crossing cost for a FUSE filesystem (per VFS call)."""
+
+    crossing_cpu: float = 90e-6        # request side (kernel → userspace)
+    completion_cpu: float = 55e-6      # response side
+    readdir_per_entry_cpu: float = 0.4e-6
+    # libfuse worker-thread pool: at most this many requests of one mount
+    # are in userspace at a time (multithreaded fuse_loop_mt of the era).
+    max_workers: int = 10
+
+
+@dataclass
+class DUFSParams:
+    """DUFS client library costs (excluding ZK / back-end / FUSE, which are
+    modeled by their own components)."""
+
+    fid_generate_cpu: float = 2e-6
+    mapping_cpu: float = 6e-6          # MD5 of 16 bytes + mod N
+    znode_codec_cpu: float = 8e-6      # encode/decode the znode data field
+    client_logic_cpu: float = 28e-6
+
+
+@dataclass
+class SimParams:
+    """Bundle of every model, plus testbed-level knobs."""
+
+    zk: ZKParams = field(default_factory=ZKParams)
+    lustre: LustreParams = field(default_factory=LustreParams)
+    pvfs: PVFSParams = field(default_factory=PVFSParams)
+    fuse: FUSEParams = field(default_factory=FUSEParams)
+    dufs: DUFSParams = field(default_factory=DUFSParams)
+
+    node_cores: int = 8                # dual Xeon E5335
+    client_op_cpu: float = 18e-6       # mdtest/app-side cost per op
+    seed: int = 0
+
+    def with_overrides(self, **kwargs) -> "SimParams":
+        """Shallow-copy with replaced sub-models (ablation helper)."""
+        return replace(self, **kwargs)

@@ -1,0 +1,16 @@
+"""Parallel-filesystem substrates: Lustre-like, PVFS2-like, and a local FS.
+
+All filesystems expose the same generator-based POSIX client interface
+(:class:`repro.pfs.base.FileSystemClient`), so DUFS, the FUSE layer, and
+the benchmark driver are back-end agnostic — exactly how the paper swaps
+Lustre and PVFS2 under the same DUFS prototype.
+"""
+
+from .base import DirEntry, FileSystemClient, StatResult
+from .localfs import LocalFS, LocalFSClient
+from .namespace import Namespace
+
+__all__ = [
+    "DirEntry", "FileSystemClient", "StatResult", "Namespace",
+    "LocalFS", "LocalFSClient",
+]

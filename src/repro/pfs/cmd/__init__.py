@@ -1,0 +1,18 @@
+"""Lustre CMD (Clustered Metadata) model — the paper's foil (§II, §VI).
+
+The Lustre community's proposed alternative to a metadata *service layer*:
+multiple active MDSes partition the namespace by directory hash. The
+catch, per the paper: "one metadata operation may need to update several
+different MDSs. To maintain the consistency of the filesystem, this
+update must be atomic. ... a global lock has to be in place to synchronize
+the updates. This might hurt the throughput of metadata operations."
+
+This package implements exactly that: hash-partitioned directory servers,
+single-server fast paths, and a **global lock server** serializing every
+cross-MDS mutation — so the benchmark can quantify the paper's critique
+against DUFS's coordination-service approach.
+"""
+
+from .fs import CMDFS, build_cmd
+
+__all__ = ["CMDFS", "build_cmd"]

@@ -1,0 +1,21 @@
+"""GIGA+-style distributed directory service — the other foil (§VI).
+
+"There has been some work in the area of designing a distributed indexing
+scheme, GIGA+, in order to build directories with millions/trillions of
+files with a high degree of concurrency. ... every server only keeps a
+local view of the partitions it manages, and this state is not shared.
+Hence, there are no synchronization and consistency bottlenecks. But, if
+the server or the partition goes down, or if the root level directory gets
+corrupted, then the files are not accessible anymore."
+
+This package implements that design for a single huge directory: entries
+hash into partitions that *split* when they exceed a threshold, partitions
+spread over servers with no replication and no coordination. The bench
+quantifies both halves of the paper's characterization: unbeatable
+concurrent-insert scaling, zero availability under server loss (contrast
+with DUFS, whose ZooKeeper quorum survives minority failures).
+"""
+
+from .service import GigaDirectory, build_giga
+
+__all__ = ["GigaDirectory", "build_giga"]

@@ -1,0 +1,128 @@
+"""Local in-memory filesystem.
+
+The cheapest back-end: a :class:`Namespace` accessed through the standard
+client interface with a small fixed CPU cost per call (VFS + page-cache
+path of a local ext3). Used as the target of the *dummy FUSE* filesystem in
+the Fig. 11 memory experiment and as a fast oracle in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from ..errors import EACCES, FSError
+from ..sim.node import Node
+from .base import StatVFS, normalize_path
+from .namespace import Namespace
+
+LOCAL_OP_CPU = 4e-6
+
+
+class LocalFS:
+    """The shared on-node filesystem state."""
+
+    def __init__(self, node: Node):
+        self.node = node
+        self.ns = Namespace()
+
+    def client(self) -> "LocalFSClient":
+        return LocalFSClient(self)
+
+
+class LocalFSClient:
+    """Generator-based client for a :class:`LocalFS` on the same node."""
+
+    def __init__(self, fs: LocalFS):
+        self.fs = fs
+        self.node = fs.node
+        self.sim = fs.node.sim
+
+    def _charge(self) -> Generator:
+        yield from self.node.cpu_work(LOCAL_OP_CPU)
+
+    # -- namespace ops -------------------------------------------------------
+    def mkdir(self, path: str, mode: int = 0o755) -> Generator:
+        yield from self._charge()
+        self.fs.ns.mkdir(normalize_path(path), mode, self.sim.now)
+        return True
+
+    def rmdir(self, path: str) -> Generator:
+        yield from self._charge()
+        self.fs.ns.rmdir(normalize_path(path), self.sim.now)
+        return True
+
+    def create(self, path: str, mode: int = 0o644) -> Generator:
+        yield from self._charge()
+        self.fs.ns.create(normalize_path(path), mode, self.sim.now)
+        return True
+
+    def unlink(self, path: str) -> Generator:
+        yield from self._charge()
+        self.fs.ns.unlink(normalize_path(path), self.sim.now)
+        return True
+
+    def stat(self, path: str) -> Generator:
+        yield from self._charge()
+        return self.fs.ns.stat(normalize_path(path))
+
+    def readdir(self, path: str) -> Generator:
+        yield from self._charge()
+        return self.fs.ns.readdir(normalize_path(path))
+
+    def rename(self, src: str, dst: str) -> Generator:
+        yield from self._charge()
+        self.fs.ns.rename(normalize_path(src), normalize_path(dst), self.sim.now)
+        return True
+
+    def chmod(self, path: str, mode: int) -> Generator:
+        yield from self._charge()
+        self.fs.ns.chmod(normalize_path(path), mode, self.sim.now)
+        return True
+
+    def truncate(self, path: str, size: int) -> Generator:
+        yield from self._charge()
+        self.fs.ns.truncate(normalize_path(path), size, self.sim.now)
+        return True
+
+    def access(self, path: str, mode: int = 0) -> Generator:
+        yield from self._charge()
+        inode = self.fs.ns.lookup(normalize_path(path))
+        if mode and not (inode.mode & mode):
+            raise FSError(EACCES, path)
+        return True
+
+    def symlink(self, target: str, linkpath: str) -> Generator:
+        yield from self._charge()
+        self.fs.ns.symlink(target, normalize_path(linkpath), self.sim.now)
+        return True
+
+    def readlink(self, path: str) -> Generator:
+        yield from self._charge()
+        return self.fs.ns.readlink(normalize_path(path))
+
+    def statfs(self) -> Generator:
+        yield from self._charge()
+        ns = self.fs.ns
+        used = sum(len(i.data) for i in ns.inodes.values())
+        return StatVFS(f_files=ns.count_files(), f_dirs=ns.count_dirs(),
+                       f_bytes_used=used)
+
+    def open(self, path: str, flags: int = 0) -> Generator:
+        yield from self._charge()
+        inode = self.fs.ns.lookup(normalize_path(path))
+        return inode.ino
+
+    def read(self, path: str, offset: int, size: int) -> Generator:
+        yield from self._charge()
+        inode = self.fs.ns.lookup(normalize_path(path))
+        return inode.data[offset:offset + size]
+
+    def write(self, path: str, offset: int, data: bytes) -> Generator:
+        yield from self._charge()
+        inode = self.fs.ns.lookup(normalize_path(path))
+        buf = bytearray(inode.data.ljust(offset + len(data), b"\0"))
+        buf[offset:offset + len(data)] = data
+        inode.data = bytes(buf)
+        inode.size = max(inode.size, offset + len(data))
+        inode.mtime = self.sim.now
+        return len(data)

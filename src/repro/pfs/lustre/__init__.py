@@ -1,0 +1,22 @@
+"""Lustre-like parallel filesystem: single MDS + DLM + object storage.
+
+The model captures the three behaviours the paper's evaluation turns on:
+
+1. **Single-MDS bottleneck** — every namespace operation is an RPC to one
+   metadata server with bounded CPU; aggregate metadata throughput cannot
+   exceed what that one server sustains (paper §III-A).
+2. **DLM lock ping-pong** — client nodes cache directory lookup locks;
+   namespace changes by other clients revoke them (blocking callbacks),
+   so concurrent-update workloads pay growing revocation and re-resolution
+   traffic (paper §VI's "client caching … disabled during concurrent
+   update workloads").
+3. **Server-side overhead growth** — per-request service time inflates
+   with request-queue pressure (thread thrashing / lock-table pressure),
+   which bends Lustre's curves downward beyond ~128 client processes as in
+   Figs. 8 and 10.
+"""
+
+from .client import LustreClient
+from .fs import LustreFS, build_lustre
+
+__all__ = ["LustreClient", "LustreFS", "build_lustre"]

@@ -1,0 +1,59 @@
+"""Distributed lock manager (server side).
+
+Tracks which client nodes hold cached read locks on each directory
+resource. A namespace mutation under a directory must revoke every other
+holder's lock via a blocking callback before it proceeds — the mechanism
+behind Lustre's concurrent-create slowdown.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+
+class LockManager:
+    def __init__(self):
+        # resource (directory path) -> set of client endpoints holding a
+        # cached read lock
+        self._granted: Dict[str, Set[str]] = {}
+        self.stats = {"grants": 0, "revokes": 0}
+
+    @property
+    def resident_locks(self) -> int:
+        return sum(len(s) for s in self._granted.values())
+
+    def grant(self, resource: str, client: str) -> None:
+        holders = self._granted.setdefault(resource, set())
+        if client not in holders:
+            holders.add(client)
+            self.stats["grants"] += 1
+
+    def holders(self, resource: str) -> Set[str]:
+        return set(self._granted.get(resource, ()))
+
+    def conflicting(self, resource: str, requester: str) -> List[str]:
+        """Clients whose cached lock must be revoked before a mutation."""
+        return [c for c in self._granted.get(resource, ()) if c != requester]
+
+    def release(self, resource: str, client: str) -> None:
+        holders = self._granted.get(resource)
+        if holders is not None:
+            holders.discard(client)
+            if not holders:
+                self._granted.pop(resource, None)
+
+    def revoke_all(self, resource: str, keep: str) -> List[str]:
+        """Drop every holder except ``keep``; returns the revoked clients."""
+        revoked = self.conflicting(resource, keep)
+        kept = self._granted.get(resource, set()) & {keep}
+        if kept:
+            self._granted[resource] = kept
+        else:
+            self._granted.pop(resource, None)
+        self.stats["revokes"] += len(revoked)
+        return revoked
+
+    def drop_client(self, client: str) -> None:
+        """Forget every lock a (crashed) client held."""
+        for resource in list(self._granted):
+            self.release(resource, client)

@@ -1,0 +1,64 @@
+"""Object storage server: holds file data objects, answers glimpse RPCs.
+
+mdtest files are zero-byte, so the OSS's role in the metadata benchmarks is
+the *glimpse* (file-size) RPC that every file stat() pays, plus async
+object precreate/destroy casts from the MDS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Tuple
+
+from ...errors import ENOENT, FSError
+from ...models.params import LustreParams
+from ...sim.node import Node
+from ...sim.rpc import Reply, RpcAgent
+
+
+class ObjectStorageServer:
+    def __init__(self, node: Node, endpoint: str, params: LustreParams):
+        self.node = node
+        self.endpoint = endpoint
+        self.params = params
+        self.objects: Dict[int, int] = {}   # object id -> size
+        self.agent = RpcAgent(node, endpoint)
+        self.agent.register("glimpse", self._h_glimpse)
+        self.agent.register("punch", self._h_punch)
+        self.agent.register("write", self._h_write)
+        self.agent.register("read", self._h_read)
+        self.agent.register("precreate", self._h_precreate)
+        self.agent.register("destroy", self._h_destroy)
+
+    def _h_precreate(self, src: str, object_id: int) -> Generator:
+        yield from self.node.cpu_work(self.params.object_create_cpu)
+        self.objects.setdefault(object_id, 0)
+
+    def _h_destroy(self, src: str, object_id: int) -> Generator:
+        yield from self.node.cpu_work(self.params.object_destroy_cpu)
+        self.objects.pop(object_id, None)
+
+    def _h_glimpse(self, src: str, object_id: int) -> Generator:
+        yield from self.node.cpu_work(self.params.glimpse_cpu)
+        return Reply(self.objects.get(object_id, 0), size=64)
+
+    def _h_punch(self, src: str, args: Tuple[int, int]) -> Generator:
+        object_id, size = args
+        yield from self.node.cpu_work(self.params.object_create_cpu)
+        self.objects[object_id] = size
+
+    def _h_write(self, src: str, args: Tuple[int, int, int]) -> Generator:
+        object_id, offset, length = args
+        yield from self.node.cpu_work(self.params.object_create_cpu)
+        yield from self.node.disk_io(64e-6 + length / 60e6)
+        self.objects[object_id] = max(self.objects.get(object_id, 0),
+                                      offset + length)
+        return length
+
+    def _h_read(self, src: str, args: Tuple[int, int, int]) -> Generator:
+        object_id, offset, length = args
+        if object_id not in self.objects:
+            raise FSError(ENOENT, msg=f"object {object_id}")
+        yield from self.node.cpu_work(self.params.object_create_cpu)
+        size = self.objects[object_id]
+        n = max(0, min(length, size - offset))
+        return Reply(n, size=96 + n)

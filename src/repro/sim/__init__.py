@@ -1,0 +1,31 @@
+"""Discrete-event simulation substrate (kernel, resources, network, nodes, RPC)."""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Condition,
+    EmptySchedule,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .network import Message, Network, NetworkStats
+from .node import Cluster, Node
+from .random import RandomStreams
+from .resources import PriorityResource, Request, Resource, Store
+from .rpc import Reply, RemoteError, RpcAgent, RpcTimeout
+from .stats import Counter, LatencyRecorder, LatencySummary, OpLog, ThroughputWindow
+
+__all__ = [
+    "AllOf", "AnyOf", "Condition", "EmptySchedule", "Event", "Interrupt",
+    "Process", "SimulationError", "Simulator", "Timeout",
+    "Message", "Network", "NetworkStats",
+    "Cluster", "Node",
+    "RandomStreams",
+    "PriorityResource", "Request", "Resource", "Store",
+    "Reply", "RemoteError", "RpcAgent", "RpcTimeout",
+    "Counter", "LatencyRecorder", "LatencySummary", "OpLog", "ThroughputWindow",
+]

@@ -1,0 +1,354 @@
+"""Discrete-event simulation kernel.
+
+A small, fast, deterministic event loop in the style of SimPy: simulation
+logic is written as generator *processes* that ``yield`` events. The kernel
+is the substrate for every simulated cluster component in this package
+(ZooKeeper servers, Lustre/PVFS servers, DUFS clients).
+
+Determinism: given identical inputs the event order is fully reproducible.
+Ties on simulation time are broken by event creation order; all randomness
+comes from named streams in :mod:`repro.sim.random`.
+
+Performance notes (per the optimization guides: measure, keep the hot loop
+allocation-light): events use ``__slots__``, the scheduler is a plain
+``heapq`` over ``(time, eid, event)`` tuples, and callbacks are plain lists.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+_PENDING = object()
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. triggering an event twice)."""
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Simulator.step` when no events remain."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    ``cause`` carries the value passed to :meth:`Process.interrupt` (used by
+    the failure injector to say *why* a server process died).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """One-shot occurrence; processes wait on it by ``yield``-ing it.
+
+    Lifecycle: *pending* -> *triggered* (value set, queued on the heap) ->
+    *processed* (callbacks ran).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_used")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self._used = False  # failure was delivered to at least one waiter
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._value is not _PENDING:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._queue(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self._value is not _PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() needs an exception instance")
+        self._ok = False
+        self._value = exc
+        self.sim._queue(self)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if not self.triggered else ("ok" if self._ok else "failed")
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.6f}>"
+
+
+class Timeout(Event):
+    """Event that fires ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._queue_at(sim.now + delay, self)
+
+
+class Process(Event):
+    """Drives a generator; the process *is* an event that fires on return.
+
+    The generator yields events; the process resumes when the yielded event
+    is processed, receiving ``event.value`` (or having the exception thrown
+    in, if the event failed and nothing defused it).
+    """
+
+    __slots__ = ("gen", "name", "_target", "_interrupts", "_started")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(gen, "send"):
+            raise TypeError(f"process target must be a generator, got {gen!r}")
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._target: Optional[Event] = None
+        self._interrupts: list = []
+        self._started = False
+        # Kick off at the current time via an initialization event.
+        init = Event(sim)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        sim._queue(init)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            return
+        self._interrupts.append(cause)
+        # Detach from whatever we were waiting for and schedule resumption.
+        wake = Event(self.sim)
+        wake._ok = True
+        wake._value = None
+        wake.callbacks.append(self._resume)
+        self.sim._queue(wake)
+
+    def _resume(self, trigger: Event) -> None:
+        if not self.is_alive:
+            return
+        # If an interrupt is queued it wins over the normal resumption.
+        if self._interrupts:
+            cause = self._interrupts.pop(0)
+            if not self._started:
+                # Killed before ever running: a throw would surface at the
+                # generator's first line, so just close it instead.
+                self.gen.close()
+                self.succeed(None)
+                return
+            target = self._target
+            if target is not None and target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+            self._target = None
+            self._step(throw=Interrupt(cause))
+            return
+        if trigger is not self._target and self._target is not None:
+            return  # stale wakeup (we were re-targeted by an interrupt)
+        self._target = None
+        if trigger._ok:
+            self._step(send=trigger._value)
+        else:
+            trigger._used = True
+            self._step(throw=trigger._value)
+
+    def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        sim = self.sim
+        sim._active = self
+        self._started = True
+        try:
+            if throw is not None:
+                target = self.gen.throw(throw)
+            else:
+                target = self.gen.send(send)
+        except StopIteration as stop:
+            sim._active = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            sim._active = None
+            if sim.strict:
+                raise
+            self.fail(exc)
+            return
+        sim._active = None
+        if not isinstance(target, Event):
+            self._step(throw=SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"))
+            return
+        if target.sim is not sim:
+            self._step(throw=SimulationError("yielded event from another simulator"))
+            return
+        if target.callbacks is None:
+            # Already processed: resume immediately with its outcome.
+            if target._ok:
+                self._step(send=target._value)
+            else:
+                target._used = True
+                self._step(throw=target._value)
+            return
+        self._target = target
+        target.callbacks.append(self._resume)
+
+
+class Condition(Event):
+    """Waits for *all* or *any* of a set of events (see AllOf / AnyOf)."""
+
+    __slots__ = ("events", "_need")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], need_all: bool):
+        super().__init__(sim)
+        self.events = tuple(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("condition spans simulators")
+        self._need = len(self.events) if need_all else min(1, len(self.events))
+        if self._need == 0:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _check(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev._ok:
+            ev._used = True
+            self.fail(ev._value)
+            return
+        self._need -= 1
+        if self._need <= 0:
+            self.succeed({e: e._value for e in self.events if e.triggered and e._ok})
+
+
+def AllOf(sim: "Simulator", events: Iterable[Event]) -> Condition:
+    return Condition(sim, events, need_all=True)
+
+
+def AnyOf(sim: "Simulator", events: Iterable[Event]) -> Condition:
+    return Condition(sim, events, need_all=False)
+
+
+class Simulator:
+    """The event loop.
+
+    ``strict`` (default True) makes uncaught exceptions in processes
+    propagate out of :meth:`run` immediately — the right default for tests.
+    """
+
+    def __init__(self, strict: bool = True):
+        self.now: float = 0.0
+        self.strict = strict
+        self._heap: list = []
+        self._eid = 0
+        self._active: Optional[Process] = None
+
+    # -- scheduling ------------------------------------------------------
+    def _queue(self, event: Event) -> None:
+        self._queue_at(self.now, event)
+
+    def _queue_at(self, when: float, event: Event) -> None:
+        self._eid += 1
+        heapq.heappush(self._heap, (when, self._eid, event))
+
+    # -- factory helpers -------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name)
+
+    def all_of(self, events: Iterable[Event]) -> Condition:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> Condition:
+        return AnyOf(self, events)
+
+    # -- execution -------------------------------------------------------
+    def step(self) -> None:
+        if not self._heap:
+            raise EmptySchedule()
+        when, _, event = heapq.heappop(self._heap)
+        self.now = when
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - double-queue guard
+            return
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event._used and self.strict:
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the heap is empty, a deadline, or an event triggers."""
+        if isinstance(until, Event):
+            stop = until
+            # Wait for the event to be *processed*, not merely triggered
+            # (a Timeout is value-bearing from creation but fires later).
+            while stop.callbacks is not None:
+                try:
+                    self.step()
+                except EmptySchedule:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited "
+                        f"event triggered (t={self.now})") from None
+            if not stop._ok:
+                stop._used = True
+                raise stop._value
+            return stop._value
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        deadline = float(until)
+        if deadline < self.now:
+            raise ValueError("deadline in the past")
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        self.now = deadline
+        return None
+
+    def peek(self) -> float:
+        """Time of the next event, or +inf if none."""
+        return self._heap[0][0] if self._heap else float("inf")

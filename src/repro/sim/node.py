@@ -1,0 +1,139 @@
+"""Cluster and node abstractions.
+
+A :class:`Cluster` owns the simulator, the network fabric, and the named
+random streams. A :class:`Node` models one machine of the paper's testbed:
+a fixed number of CPU cores (a shared :class:`Resource` — co-located
+services like the ZooKeeper server and DUFS client processes genuinely
+compete for them), one disk, and a registry of running processes so the
+failure injector can crash and recover the whole machine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Optional
+
+from .core import Interrupt, Process, Simulator
+from .network import Network
+from .random import RandomStreams
+from .resources import Resource
+
+
+class Cluster:
+    """Top-level container for one simulated experiment."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        latency: Optional[float] = None,
+        bandwidth: Optional[float] = None,
+        strict: bool = True,
+    ):
+        self.sim = Simulator(strict=strict)
+        kwargs = {}
+        if latency is not None:
+            kwargs["latency"] = latency
+        if bandwidth is not None:
+            kwargs["bandwidth"] = bandwidth
+        self.network = Network(self.sim, **kwargs)
+        self.streams = RandomStreams(seed)
+        self.nodes: Dict[str, "Node"] = {}
+
+    def add_node(self, name: str, cores: int = 8, disk_concurrency: int = 1) -> "Node":
+        if name in self.nodes:
+            raise ValueError(f"duplicate node {name!r}")
+        node = Node(self, name, cores=cores, disk_concurrency=disk_concurrency)
+        self.nodes[name] = node
+        return node
+
+    def node(self, name: str) -> "Node":
+        return self.nodes[name]
+
+    def run(self, until=None):
+        return self.sim.run(until)
+
+
+class Node:
+    """One machine: CPU cores, a disk, and crashable processes."""
+
+    def __init__(self, cluster: Cluster, name: str, cores: int = 8,
+                 disk_concurrency: int = 1):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.network = cluster.network
+        self.name = name
+        self.cores = cores
+        self.disk_concurrency = disk_concurrency
+        self.cpu = Resource(self.sim, cores)
+        self.disk = Resource(self.sim, disk_concurrency)
+        self.down = False
+        self._procs: list[Process] = []
+        self._on_crash: list[Callable[[], None]] = []
+        self._on_recover: list[Callable[[], None]] = []
+        self._endpoints: list[str] = []
+
+    # -- process management ----------------------------------------------
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start a process whose lifetime is bound to this node."""
+        proc = self.sim.process(gen, name or f"{self.name}.proc")
+        self._procs.append(proc)
+        if len(self._procs) > 256:  # garbage-collect finished handlers
+            self._procs = [p for p in self._procs if p.is_alive]
+        return proc
+
+    def register_endpoint(self, endpoint: str) -> None:
+        self._endpoints.append(endpoint)
+
+    def on_crash(self, cb: Callable[[], None]) -> None:
+        self._on_crash.append(cb)
+
+    def on_recover(self, cb: Callable[[], None]) -> None:
+        self._on_recover.append(cb)
+
+    # -- resource helpers --------------------------------------------------
+    def cpu_work(self, seconds: float) -> Generator:
+        """Occupy one core for ``seconds`` of service time."""
+        req = self.cpu.request()
+        try:
+            yield req
+            yield self.sim.timeout(seconds)
+        finally:
+            self.cpu.release(req)
+
+    def disk_io(self, seconds: float) -> Generator:
+        """Serialize on the disk for ``seconds`` (sync transaction model)."""
+        req = self.disk.request()
+        try:
+            yield req
+            yield self.sim.timeout(seconds)
+        finally:
+            self.disk.release(req)
+
+    # -- failure injection -------------------------------------------------
+    def crash(self) -> None:
+        """Kill every process on the node and drop its in-flight traffic."""
+        if self.down:
+            return
+        self.down = True
+        for ep in self._endpoints:
+            self.network.set_down(ep, True)
+        for proc in self._procs:
+            proc.interrupt("node-crash")
+        self._procs.clear()
+        # Anything held on CPU/disk dies with the processes.
+        self.cpu = Resource(self.sim, self.cores)
+        self.disk = Resource(self.sim, self.disk_concurrency)
+        for cb in self._on_crash:
+            cb()
+
+    def recover(self) -> None:
+        if not self.down:
+            return
+        self.down = False
+        for ep in self._endpoints:
+            self.network.set_down(ep, False)
+        for cb in self._on_recover:
+            cb()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "down" if self.down else "up"
+        return f"<Node {self.name} cores={self.cores} {state}>"

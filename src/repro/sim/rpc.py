@@ -1,0 +1,193 @@
+"""Request/response RPC layer over the simulated network.
+
+Each service endpoint (an MDS, a ZooKeeper server, a client library) owns an
+:class:`RpcAgent`: an inbox dispatcher that spawns a handler process per
+incoming request and routes responses back to waiting callers. Handlers are
+generator functions ``handler(src, args) -> value`` that may yield sim
+events (CPU work, disk, nested RPCs). Exceptions raised by handlers are
+marshalled to the caller and re-raised there, preserving POSIX errnos.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, Optional
+
+from .core import AnyOf, Event, Interrupt
+from .node import Node
+
+DEFAULT_REQ_SIZE = 192
+DEFAULT_RESP_SIZE = 160
+
+
+class RpcTimeout(Exception):
+    """The reply did not arrive within the caller's deadline."""
+
+    def __init__(self, dst: str, method: str):
+        super().__init__(f"rpc {method} to {dst} timed out")
+        self.dst = dst
+        self.method = method
+
+
+class RemoteError(Exception):
+    """Wrapper for non-FS exceptions raised by a remote handler."""
+
+
+@dataclass(frozen=True)
+class _Request:
+    rpc_id: int
+    reply_to: str
+    method: str
+    args: Any
+    resp_size: int
+
+
+@dataclass(frozen=True)
+class _Response:
+    rpc_id: int
+    ok: bool
+    value: Any
+
+
+@dataclass(frozen=True)
+class _Cast:
+    method: str
+    args: Any
+    src: str
+
+
+class Reply:
+    """Handlers may return ``Reply(value, size)`` to set the response size."""
+
+    __slots__ = ("value", "size")
+
+    def __init__(self, value: Any, size: int = DEFAULT_RESP_SIZE):
+        self.value = value
+        self.size = size
+
+
+class RpcAgent:
+    """Bidirectional RPC endpoint bound to a node."""
+
+    def __init__(self, node: Node, endpoint: str):
+        self.node = node
+        self.sim = node.sim
+        self.network = node.network
+        self.endpoint = endpoint
+        self.inbox = self.network.register(endpoint, host=node.name)
+        node.register_endpoint(endpoint)
+        self.handlers: Dict[str, Callable] = {}
+        self.fast_handlers: Dict[str, Callable] = {}
+        self._pending: Dict[int, Event] = {}
+        self._next_id = 0
+        self._dispatcher = node.spawn(self._dispatch_loop(), f"{endpoint}.dispatch")
+        node.on_crash(self._fail_pending)
+        node.on_recover(self._restart)
+
+    # -- server side -------------------------------------------------------
+    def register(self, method: str, handler: Callable) -> None:
+        """Register ``handler(src, args)`` — a generator function."""
+        self.handlers[method] = handler
+
+    def register_fast(self, method: str, fn: Callable) -> None:
+        """Register a plain-function *cast* handler, run inline by the
+        dispatcher with no process spawn. For cheap bookkeeping on hot
+        paths (ZAB acks/commits); must not block or consume resources."""
+        self.fast_handlers[method] = fn
+
+    def _dispatch_loop(self) -> Generator:
+        while True:
+            try:
+                msg = yield self.inbox.get()
+            except Interrupt:
+                return
+            if msg is None:  # cancelled get during teardown
+                return
+            payload = msg.payload
+            if isinstance(payload, _Response):
+                waiter = self._pending.pop(payload.rpc_id, None)
+                if waiter is not None and not waiter.triggered:
+                    waiter.succeed(payload)
+            elif isinstance(payload, _Request):
+                self.node.spawn(self._serve(payload),
+                                f"{self.endpoint}.{payload.method}")
+            elif isinstance(payload, _Cast):
+                fast = self.fast_handlers.get(payload.method)
+                if fast is not None:
+                    fast(payload.src, payload.args)
+                    continue
+                handler = self.handlers.get(payload.method)
+                if handler is not None:
+                    self.node.spawn(self._serve_cast(handler, payload),
+                                    f"{self.endpoint}.{payload.method}")
+
+    def _serve(self, req: _Request) -> Generator:
+        handler = self.handlers.get(req.method)
+        resp_size = req.resp_size
+        if handler is None:
+            resp = _Response(req.rpc_id, False, RemoteError(
+                f"no handler {req.method!r} at {self.endpoint}"))
+        else:
+            try:
+                value = yield from handler(req.reply_to, req.args)
+                if isinstance(value, Reply):
+                    resp_size = value.size
+                    value = value.value
+                resp = _Response(req.rpc_id, True, value)
+            except Interrupt:
+                return  # node died mid-service; caller will time out
+            except Exception as exc:
+                resp = _Response(req.rpc_id, False, exc)
+        self.network.send(self.endpoint, req.reply_to, resp, resp_size)
+
+    def _serve_cast(self, handler: Callable, cast: _Cast) -> Generator:
+        try:
+            yield from handler(cast.src, cast.args)
+        except Interrupt:
+            return
+
+    # -- client side -------------------------------------------------------
+    def call(
+        self,
+        dst: str,
+        method: str,
+        args: Any = None,
+        size: int = DEFAULT_REQ_SIZE,
+        resp_size: int = DEFAULT_RESP_SIZE,
+        timeout: Optional[float] = None,
+    ) -> Generator:
+        """Issue an RPC and wait for the reply (``yield from`` this)."""
+        self._next_id += 1
+        rpc_id = self._next_id
+        waiter = self.sim.event()
+        self._pending[rpc_id] = waiter
+        req = _Request(rpc_id, self.endpoint, method, args, resp_size)
+        self.network.send(self.endpoint, dst, req, size)
+        if timeout is None:
+            resp = yield waiter
+        else:
+            expiry = self.sim.timeout(timeout)
+            yield AnyOf(self.sim, (waiter, expiry))
+            if not waiter.triggered or waiter.value is None:
+                self._pending.pop(rpc_id, None)
+                if not waiter.triggered:
+                    waiter._ok = True  # detach: response may still arrive
+                    waiter._value = None
+                raise RpcTimeout(dst, method)
+            resp = waiter.value
+        if resp.ok:
+            return resp.value
+        raise resp.value
+
+    def cast(self, dst: str, method: str, args: Any = None,
+             size: int = DEFAULT_REQ_SIZE) -> None:
+        """One-way message (no reply expected)."""
+        self.network.send(self.endpoint, dst, _Cast(method, args, self.endpoint), size)
+
+    # -- failure plumbing ---------------------------------------------------
+    def _fail_pending(self) -> None:
+        self._pending.clear()
+
+    def _restart(self) -> None:
+        self._dispatcher = self.node.spawn(self._dispatch_loop(),
+                                           f"{self.endpoint}.dispatch")

@@ -1,0 +1,102 @@
+"""Measurement helpers: op counters, throughput windows, latency summaries."""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """Per-key event counter (ops completed, RPCs sent, ...)."""
+
+    def __init__(self):
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    def inc(self, key: str, n: int = 1) -> None:
+        self._counts[key] += n
+
+    def get(self, key: str) -> int:
+        return self._counts.get(key, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+
+@dataclass
+class LatencySummary:
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"n={self.count} mean={self.mean * 1e3:.3f}ms "
+                f"p50={self.p50 * 1e3:.3f}ms p99={self.p99 * 1e3:.3f}ms")
+
+
+class LatencyRecorder:
+    """Records per-op latencies keyed by op name; summarizes on demand."""
+
+    def __init__(self):
+        self._samples: Dict[str, List[float]] = defaultdict(list)
+
+    def record(self, key: str, latency: float) -> None:
+        self._samples[key].append(latency)
+
+    def keys(self) -> List[str]:
+        return sorted(self._samples)
+
+    def summary(self, key: str) -> Optional[LatencySummary]:
+        xs = self._samples.get(key)
+        if not xs:
+            return None
+        xs = sorted(xs)
+        n = len(xs)
+
+        def pct(p: float) -> float:
+            return xs[min(n - 1, max(0, math.ceil(p * n) - 1))]
+
+        return LatencySummary(n, sum(xs) / n, pct(0.50), pct(0.95), pct(0.99), xs[-1])
+
+
+@dataclass
+class ThroughputWindow:
+    """Completed-op timestamps within [start, end); throughput in ops/s."""
+
+    start: float = 0.0
+    end: float = 0.0
+    count: int = 0
+
+    def throughput(self) -> float:
+        dur = self.end - self.start
+        return self.count / dur if dur > 0 else 0.0
+
+
+class OpLog:
+    """Completion log used by the benchmark driver.
+
+    Records ``(finish_time, op_name)`` pairs; the driver computes phase
+    throughput as total completions / (last finish - phase start), matching
+    how mdtest reports per-phase rates.
+    """
+
+    def __init__(self):
+        self.finishes: List[float] = []
+        self.by_op: Dict[str, int] = defaultdict(int)
+
+    def record(self, op: str, finish: float) -> None:
+        self.finishes.append(finish)
+        self.by_op[op] += 1
+
+    @property
+    def count(self) -> int:
+        return len(self.finishes)
+
+    def window(self, start: float) -> ThroughputWindow:
+        if not self.finishes:
+            return ThroughputWindow(start, start, 0)
+        return ThroughputWindow(start, max(self.finishes), len(self.finishes))

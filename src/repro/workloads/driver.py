@@ -1,0 +1,46 @@
+"""Closed-loop phase driver with mdtest-style barriers.
+
+A *phase* launches one coroutine per client process, waits for all of them
+(the MPI barrier), and reports throughput as total operations divided by
+the wall-clock (simulated) span of the phase — exactly how mdtest computes
+its per-phase rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, List, Sequence
+
+from ..sim.core import AllOf, Simulator
+from ..sim.node import Node
+
+
+@dataclass
+class PhaseResult:
+    name: str
+    ops: int
+    duration: float
+
+    @property
+    def throughput(self) -> float:
+        return self.ops / self.duration if self.duration > 0 else 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}: {self.ops} ops in {self.duration:.3f}s = " \
+               f"{self.throughput:,.0f} ops/s"
+
+
+def run_phase(
+    sim: Simulator,
+    name: str,
+    nodes: Sequence[Node],
+    workers: Sequence[Generator],
+    ops_per_worker: int,
+) -> PhaseResult:
+    """Run ``workers[i]`` on ``nodes[i % len(nodes)]``; barrier at both ends."""
+    start = sim.now
+    procs = [nodes[i % len(nodes)].spawn(w, f"{name}.{i}")
+             for i, w in enumerate(workers)]
+    if procs:
+        sim.run(until=AllOf(sim, procs))
+    return PhaseResult(name, ops_per_worker * len(workers), sim.now - start)

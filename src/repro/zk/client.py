@@ -1,0 +1,210 @@
+"""Synchronous ZooKeeper client API (the interface the paper's DUFS uses).
+
+The method set mirrors the C client the authors call out —
+``zoo_create`` / ``zoo_get`` / ``zoo_set`` / ``zoo_delete`` plus
+``exists`` / ``get_children`` — and adds ``multi`` (atomic multi-op, used
+by DUFS rename) and watches. Every method is a generator to be driven with
+``yield from`` inside a simulation process.
+
+A client holds a session on one server of the ensemble (like a real ZK
+connection). On connection loss it can fail over to the next server and
+retry idempotent operations; non-idempotent retries follow the real
+client's semantics (the caller may observe ``NodeExistsError`` after a
+retried create whose first attempt actually landed).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Generator, List, Optional, Sequence, Tuple
+
+from ..sim.node import Node
+from ..sim.rpc import RpcAgent, RpcTimeout
+from .errors import ConnectionLossError, NotLeaderError
+from .protocol import ReadRequest, WatchEvent, WriteRequest
+
+_client_seq = itertools.count()
+
+
+class ZKClient:
+    """A session-holding client bound to one node of the cluster."""
+
+    def __init__(
+        self,
+        node: Node,
+        servers: Sequence[str],
+        prefer: Optional[str] = None,
+        request_timeout: Optional[float] = None,
+        max_retries: int = 0,
+        name: Optional[str] = None,
+    ):
+        if not servers:
+            raise ValueError("need at least one server endpoint")
+        self.node = node
+        self.sim = node.sim
+        self.servers = list(servers)
+        self.server = prefer if prefer is not None else self.servers[0]
+        if self.server not in self.servers:
+            raise ValueError(f"prefer {self.server!r} not in server list")
+        self.request_timeout = request_timeout
+        self.max_retries = max_retries
+        self.session: Optional[int] = None
+        ident = name or f"zkcli{next(_client_seq)}"
+        self.agent = RpcAgent(node, ident)
+        self.agent.register_fast("watch_event", self._on_watch_event)
+        self._watch_callbacks: dict[str, List[Callable[[WatchEvent], None]]] = {}
+        self.default_watcher: Optional[Callable[[WatchEvent], None]] = None
+
+    # -- session -----------------------------------------------------------
+    def connect(self) -> Generator:
+        self.session = yield from self._request("connect", None)
+        return self.session
+
+    def keepalive(self, interval: float = 0.3) -> Generator:
+        """Session heartbeat loop; run it as a process on the client's
+        node (``node.spawn(client.keepalive())``). Stops when the node
+        crashes (taking the session's ephemerals with it, after the
+        server-side timeout) or when ``close()`` clears the session."""
+        from ..sim.core import Interrupt
+
+        while self.session is not None:
+            try:
+                yield self.sim.timeout(interval)
+            except Interrupt:
+                return
+            if self.session is not None:
+                self.agent.cast(self.server, "session_ping", self.session,
+                                size=48)
+
+    def close(self) -> Generator:
+        if self.session is not None:
+            yield from self._request("close_session", self.session)
+            self.session = None
+        return None
+
+    # -- plumbing ------------------------------------------------------------
+    def _request(self, method: str, args: Any, size: int = 160) -> Generator:
+        attempts = self.max_retries + 1
+        last_exc: Optional[Exception] = None
+        for attempt in range(attempts):
+            try:
+                result = yield from self.agent.call(
+                    self.server, method, args, size=size,
+                    timeout=self.request_timeout)
+                return result
+            except (RpcTimeout, ConnectionLossError, NotLeaderError) as exc:
+                last_exc = exc
+                if attempt + 1 < attempts:
+                    self._fail_over()
+        if isinstance(last_exc, RpcTimeout):
+            raise ConnectionLossError(msg=str(last_exc))
+        raise last_exc  # type: ignore[misc]
+
+    def _fail_over(self) -> None:
+        idx = self.servers.index(self.server)
+        self.server = self.servers[(idx + 1) % len(self.servers)]
+
+    def _watch_flag(self, watch) -> bool:
+        if watch is None:
+            return False
+        if callable(watch):
+            return True
+        return bool(watch)
+
+    def _register_watch(self, path: str, watch) -> None:
+        if callable(watch):
+            self._watch_callbacks.setdefault(path, []).append(watch)
+
+    def _on_watch_event(self, src: str, event: WatchEvent) -> None:
+        callbacks = self._watch_callbacks.pop(event.path, [])
+        for cb in callbacks:
+            cb(event)
+        if self.default_watcher is not None:
+            self.default_watcher(event)
+
+    # -- reads ---------------------------------------------------------------
+    def exists(self, path: str, watch=None) -> Generator:
+        """Stat if the node exists, else None. ``zoo_exists``."""
+        flag = self._watch_flag(watch)
+        stat = yield from self._request(
+            "read", ReadRequest("exists", path, watch=flag),
+            size=120 + len(path))
+        if flag:
+            self._register_watch(path, watch)
+        return stat
+
+    def get(self, path: str, watch=None) -> Generator:
+        """(data, stat). ``zoo_get``."""
+        flag = self._watch_flag(watch)
+        result = yield from self._request(
+            "read", ReadRequest("get", path, watch=flag),
+            size=120 + len(path))
+        if flag:
+            self._register_watch(path, watch)
+        return result
+
+    def get_children(self, path: str, watch=None) -> Generator:
+        flag = self._watch_flag(watch)
+        names = yield from self._request(
+            "read", ReadRequest("children", path, watch=flag),
+            size=120 + len(path))
+        if flag:
+            self._register_watch(path, watch)
+        return names
+
+    # -- writes ----------------------------------------------------------------
+    def create(self, path: str, data: bytes = b"", ephemeral: bool = False,
+               sequential: bool = False) -> Generator:
+        """Create a znode; returns the final path. ``zoo_create``."""
+        req = WriteRequest(op="create", path=path, data=data,
+                           ephemeral=ephemeral, sequential=sequential,
+                           session=self.session or 0)
+        result = yield from self._request("write", req,
+                                          size=140 + len(path) + len(data))
+        return result
+
+    def set_data(self, path: str, data: bytes, version: int = -1) -> Generator:
+        """``zoo_set``."""
+        req = WriteRequest(op="set", path=path, data=data, version=version)
+        result = yield from self._request("write", req,
+                                          size=140 + len(path) + len(data))
+        return result
+
+    def delete(self, path: str, version: int = -1) -> Generator:
+        """``zoo_delete``."""
+        req = WriteRequest(op="delete", path=path, version=version)
+        result = yield from self._request("write", req, size=140 + len(path))
+        return result
+
+    def multi(self, ops: Sequence[WriteRequest]) -> Generator:
+        """Atomic multi-op; ``ops`` built with the ``op_*`` helpers below."""
+        req = WriteRequest(op="multi", ops=tuple(ops),
+                           session=self.session or 0)
+        size = 140 + sum(len(o.path) + len(o.data) + 16 for o in ops)
+        result = yield from self._request("write", req, size=size)
+        return result
+
+    def sync(self, path: str = "/") -> Generator:
+        """``zoo_sync``: after this returns, reads on this client's server
+        observe every write committed before the call."""
+        result = yield from self._request("sync", path, size=120 + len(path))
+        return result
+
+    # -- multi builders ---------------------------------------------------------
+    @staticmethod
+    def op_create(path: str, data: bytes = b"", ephemeral: bool = False,
+                  session: int = 0) -> WriteRequest:
+        return WriteRequest(op="create", path=path, data=data,
+                            ephemeral=ephemeral, session=session)
+
+    @staticmethod
+    def op_delete(path: str, version: int = -1) -> WriteRequest:
+        return WriteRequest(op="delete", path=path, version=version)
+
+    @staticmethod
+    def op_set(path: str, data: bytes, version: int = -1) -> WriteRequest:
+        return WriteRequest(op="set", path=path, data=data, version=version)
+
+    @staticmethod
+    def op_check(path: str, version: int = -1) -> WriteRequest:
+        return WriteRequest(op="check", path=path, version=version)

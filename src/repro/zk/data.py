@@ -1,0 +1,324 @@
+"""The znode tree: ZooKeeper's hierarchical in-memory namespace.
+
+This is the replicated state machine underneath ZAB. Transactions
+(:func:`ZnodeStore.apply`) are *validated records* produced by the leader;
+applying the same sequence to any replica yields a byte-identical tree —
+the property the consistency tests and the Fig. 1 reproduction rely on.
+
+Memory accounting (:attr:`ZnodeStore.approx_memory_bytes`) models the
+paper's Fig. 11 observation that one million znodes cost ~417 MB in the
+JVM: per znode we charge a fixed overhead plus path and data bytes
+(see :mod:`repro.models.memory` for the calibrated constants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .errors import (
+    BadArgumentsError,
+    BadVersionError,
+    NoChildrenForEphemeralsError,
+    NoNodeError,
+    NodeExistsError,
+    NotEmptyError,
+)
+
+# Calibrated so that ~1e6 typical DUFS znodes ≈ 417 MB (paper Fig. 11):
+# JVM DataNode + HashMap entries + watches bookkeeping.
+ZNODE_BASE_OVERHEAD = 321
+ZNODE_PER_CHILD = 8
+
+
+@dataclass
+class ZnodeStat:
+    """Subset of the real ``Stat`` structure (org.apache.zookeeper.data)."""
+
+    czxid: int = 0          # zxid that created the node
+    mzxid: int = 0          # zxid of last data modification
+    pzxid: int = 0          # zxid of last child-list change
+    ctime: float = 0.0      # creation time (sim seconds)
+    mtime: float = 0.0      # last-modification time
+    version: int = 0        # data version
+    cversion: int = 0       # child-list version
+    ephemeral_owner: int = 0  # session id, 0 for persistent
+    data_length: int = 0
+    num_children: int = 0
+
+    def copy(self) -> "ZnodeStat":
+        return replace(self)
+
+
+class _Znode:
+    __slots__ = ("name", "data", "children", "stat", "seq_counter")
+
+    def __init__(self, name: str, data: bytes, stat: ZnodeStat):
+        self.name = name
+        self.data = data
+        self.children: Dict[str, "_Znode"] = {}
+        self.stat = stat
+        self.seq_counter = 0  # next suffix for sequential children
+
+
+def validate_path(path: str) -> None:
+    if not path.startswith("/"):
+        raise BadArgumentsError(path, f"path must be absolute: {path!r}")
+    if path != "/" and path.endswith("/"):
+        raise BadArgumentsError(path, f"trailing slash: {path!r}")
+    if "//" in path:
+        raise BadArgumentsError(path, f"empty component: {path!r}")
+    for comp in path.split("/")[1:]:
+        if comp in (".", ".."):
+            raise BadArgumentsError(path, f"relative component in {path!r}")
+
+
+def split_path(path: str) -> Tuple[str, str]:
+    """``/a/b/c`` -> (``/a/b``, ``c``)."""
+    parent, _, name = path.rpartition("/")
+    return (parent or "/", name)
+
+
+class ZnodeStore:
+    """One replica's znode tree plus deterministic txn application."""
+
+    def __init__(self):
+        self._root = _Znode("", b"", ZnodeStat())
+        self._count = 1
+        self._bytes = ZNODE_BASE_OVERHEAD
+        # session id -> set of ephemeral paths (for session-expiry cleanup)
+        self.ephemerals: Dict[int, set] = {}
+
+    # -- lookup ------------------------------------------------------------
+    def _walk(self, path: str) -> Optional[_Znode]:
+        if path == "/":
+            return self._root
+        node = self._root
+        for comp in path.split("/")[1:]:
+            node = node.children.get(comp)
+            if node is None:
+                return None
+        return node
+
+    def exists(self, path: str) -> Optional[ZnodeStat]:
+        node = self._walk(path)
+        return node.stat.copy() if node is not None else None
+
+    def get(self, path: str) -> Tuple[bytes, ZnodeStat]:
+        node = self._walk(path)
+        if node is None:
+            raise NoNodeError(path)
+        return node.data, node.stat.copy()
+
+    def get_children(self, path: str) -> List[str]:
+        node = self._walk(path)
+        if node is None:
+            raise NoNodeError(path)
+        return sorted(node.children)
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def approx_memory_bytes(self) -> int:
+        return self._bytes
+
+    def walk_paths(self) -> Iterator[str]:
+        """Depth-first enumeration of all paths (diagnostics/snapshots)."""
+
+        def rec(prefix: str, node: _Znode) -> Iterator[str]:
+            for name in sorted(node.children):
+                child = node.children[name]
+                p = f"{prefix}/{name}" if prefix != "/" else f"/{name}"
+                yield p
+                yield from rec(p, child)
+
+        yield "/"
+        yield from rec("/", self._root)
+
+    # -- validation (leader side) -------------------------------------------
+    def check_create(self, path: str, ephemeral_owner: int = 0,
+                     sequential: bool = False) -> str:
+        """Validate a create; returns the final path (sequential resolved).
+
+        Called by the leader against its *speculative* store before a txn
+        is proposed. Raises the client-visible ZK error on failure.
+        """
+        validate_path(path)
+        parent_path, name = split_path(path)
+        if not name:
+            raise NodeExistsError(path)  # creating "/"
+        parent = self._walk(parent_path)
+        if parent is None:
+            raise NoNodeError(path)
+        if parent.stat.ephemeral_owner:
+            raise NoChildrenForEphemeralsError(path)
+        if sequential:
+            name = f"{name}{parent.seq_counter:010d}"
+            path = f"{parent_path}/{name}" if parent_path != "/" else f"/{name}"
+        if name in parent.children:
+            raise NodeExistsError(path)
+        return path
+
+    def check_delete(self, path: str, version: int = -1) -> None:
+        validate_path(path)
+        if path == "/":
+            raise BadArgumentsError(path, "cannot delete root")
+        node = self._walk(path)
+        if node is None:
+            raise NoNodeError(path)
+        if node.children:
+            raise NotEmptyError(path)
+        if version != -1 and node.stat.version != version:
+            raise BadVersionError(path)
+
+    def check_set_data(self, path: str, version: int = -1) -> None:
+        validate_path(path)
+        node = self._walk(path)
+        if node is None:
+            raise NoNodeError(path)
+        if version != -1 and node.stat.version != version:
+            raise BadVersionError(path)
+
+    def check_version(self, path: str, version: int) -> None:
+        node = self._walk(path)
+        if node is None:
+            raise NoNodeError(path)
+        if version != -1 and node.stat.version != version:
+            raise BadVersionError(path)
+
+    # -- mutation (txn application; must never fail on a valid log) ---------
+    def apply_create(self, path: str, data: bytes, zxid: int, time: float,
+                     ephemeral_owner: int = 0, sequential: bool = False) -> None:
+        parent_path, name = split_path(path)
+        parent = self._walk(parent_path)
+        if parent is None or name in parent.children:
+            raise AssertionError(f"inconsistent replica: create {path}")
+        stat = ZnodeStat(czxid=zxid, mzxid=zxid, pzxid=zxid, ctime=time,
+                         mtime=time, ephemeral_owner=ephemeral_owner,
+                         data_length=len(data))
+        node = _Znode(name, data, stat)
+        parent.children[name] = node
+        if sequential:
+            parent.seq_counter += 1
+        parent.stat.cversion += 1
+        parent.stat.pzxid = zxid
+        parent.stat.num_children = len(parent.children)
+        self._count += 1
+        self._bytes += ZNODE_BASE_OVERHEAD + len(path) + len(data) + ZNODE_PER_CHILD
+        if ephemeral_owner:
+            self.ephemerals.setdefault(ephemeral_owner, set()).add(path)
+
+    def apply_delete(self, path: str, zxid: int) -> None:
+        parent_path, name = split_path(path)
+        parent = self._walk(parent_path)
+        node = parent.children.pop(name, None) if parent else None
+        if node is None:
+            raise AssertionError(f"inconsistent replica: delete {path}")
+        parent.stat.cversion += 1
+        parent.stat.pzxid = zxid
+        parent.stat.num_children = len(parent.children)
+        self._count -= 1
+        self._bytes -= ZNODE_BASE_OVERHEAD + len(path) + len(node.data) + ZNODE_PER_CHILD
+        if node.stat.ephemeral_owner:
+            owned = self.ephemerals.get(node.stat.ephemeral_owner)
+            if owned is not None:
+                owned.discard(path)
+                if not owned:
+                    del self.ephemerals[node.stat.ephemeral_owner]
+
+    def apply_set_data(self, path: str, data: bytes, zxid: int, time: float) -> None:
+        node = self._walk(path)
+        if node is None:
+            raise AssertionError(f"inconsistent replica: set {path}")
+        self._bytes += len(data) - len(node.data)
+        node.data = data
+        node.stat.mzxid = zxid
+        node.stat.mtime = time
+        node.stat.version += 1
+        node.stat.data_length = len(data)
+
+    # -- txn records ---------------------------------------------------------
+    def apply(self, txn: tuple, zxid: int, time: float) -> None:
+        """Apply one validated txn record.
+
+        Records: ``('create', path, data, eph_owner, sequential)``,
+        ``('delete', path)``, ``('set', path, data)``,
+        ``('multi', (record, ...))``.
+        """
+        kind = txn[0]
+        if kind == "create":
+            self.apply_create(txn[1], txn[2], zxid, time, txn[3], txn[4])
+        elif kind == "delete":
+            self.apply_delete(txn[1], zxid)
+        elif kind == "set":
+            self.apply_set_data(txn[1], txn[2], zxid, time)
+        elif kind == "multi":
+            for sub in txn[1]:
+                self.apply(sub, zxid, time)
+        else:  # pragma: no cover - log corruption guard
+            raise AssertionError(f"unknown txn {txn!r}")
+
+    # -- snapshots ------------------------------------------------------------
+    def snapshot(self) -> list:
+        """Serializable dump (used for checkpoint/restore and leader sync)."""
+        rs = self._root.stat
+        out = [("/", self._root.data, rs.czxid, rs.mzxid, rs.pzxid,
+                rs.ctime, rs.mtime, rs.version, rs.cversion,
+                rs.ephemeral_owner, self._root.seq_counter)]
+
+        def rec(prefix: str, node: _Znode) -> None:
+            for name in sorted(node.children):
+                child = node.children[name]
+                p = f"{prefix}/{name}" if prefix != "/" else f"/{name}"
+                st = child.stat
+                out.append((p, child.data, st.czxid, st.mzxid, st.pzxid,
+                            st.ctime, st.mtime, st.version, st.cversion,
+                            st.ephemeral_owner, child.seq_counter))
+                rec(p, child)
+
+        rec("/", self._root)
+        return out
+
+    @classmethod
+    def from_snapshot(cls, snap: list) -> "ZnodeStore":
+        store = cls()
+        for (p, data, czxid, mzxid, pzxid, ctime, mtime, version, cversion,
+             eph, seq) in snap:
+            if p == "/":
+                root = store._root
+                root.data = data
+                root.seq_counter = seq
+                root.stat = ZnodeStat(czxid=czxid, mzxid=mzxid, pzxid=pzxid,
+                                      ctime=ctime, mtime=mtime,
+                                      version=version, cversion=cversion,
+                                      ephemeral_owner=eph,
+                                      data_length=len(data))
+                continue
+            parent_path, name = split_path(p)
+            parent = store._walk(parent_path)
+            assert parent is not None, f"snapshot out of order at {p}"
+            stat = ZnodeStat(czxid=czxid, mzxid=mzxid, pzxid=pzxid,
+                             ctime=ctime, mtime=mtime, version=version,
+                             cversion=cversion, ephemeral_owner=eph,
+                             data_length=len(data))
+            node = _Znode(name, data, stat)
+            node.seq_counter = seq
+            parent.children[name] = node
+            parent.stat.num_children = len(parent.children)
+            store._count += 1
+            store._bytes += ZNODE_BASE_OVERHEAD + len(p) + len(data) + ZNODE_PER_CHILD
+            if eph:
+                store.ephemerals.setdefault(eph, set()).add(p)
+        return store
+
+    def fingerprint(self) -> int:
+        """Order-independent digest of the full tree (replica comparison)."""
+        acc = 0
+        for path in self.walk_paths():
+            node = self._walk(path)
+            assert node is not None
+            item = hash((path, node.data, node.stat.version,
+                         node.stat.cversion, node.stat.ephemeral_owner))
+            acc ^= item * 2654435761 % (1 << 61)
+        return acc

@@ -1,0 +1,51 @@
+"""ZooKeeper error model (subset of the real client error codes)."""
+
+from __future__ import annotations
+
+
+class ZKError(Exception):
+    """Base class; ``code`` mirrors the C client's negative error codes."""
+
+    code = -1
+
+    def __init__(self, path: str = "", msg: str = ""):
+        super().__init__(msg or f"{type(self).__name__}: {path}")
+        self.path = path
+
+
+class NoNodeError(ZKError):
+    code = -101
+
+
+class NodeExistsError(ZKError):
+    code = -110
+
+
+class NotEmptyError(ZKError):
+    code = -111
+
+
+class BadVersionError(ZKError):
+    code = -103
+
+
+class NoChildrenForEphemeralsError(ZKError):
+    code = -108
+
+
+class ConnectionLossError(ZKError):
+    code = -4
+
+
+class SessionExpiredError(ZKError):
+    code = -112
+
+
+class NotLeaderError(ZKError):
+    """Internal: a write reached a server that is not (any longer) leader."""
+
+    code = -900
+
+
+class BadArgumentsError(ZKError):
+    code = -8

@@ -1,0 +1,866 @@
+"""One ZooKeeper server: ZAB write pipeline, local reads, sessions, watches.
+
+Roles follow the real system: a single **leader** sequences all writes
+(validate against a speculative tree → assign zxid → stream PROPOSE to
+followers → collect quorum ACKs → COMMIT), while **followers** serve reads
+from their committed tree and forward writes to the leader. Txn logging is
+group-committed: a batch of proposals shares one fsync, which is what lets
+the real server sustain thousands of writes per second through a
+millisecond-latency disk.
+
+Durable state (survives :meth:`Node.crash`): the txn log, the last
+checkpoint snapshot, and the promised epoch. Everything else is volatile
+and rebuilt on recovery by snapshot + log replay.
+
+Leader election lives in :mod:`repro.zk.election` (mixed in here via plain
+method calls); throughput experiments run with a statically assigned leader
+and no failure detection, matching the paper's healthy-cluster runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
+
+from ..models.params import ZKParams
+from ..sim.core import Event, Interrupt
+from ..sim.node import Node
+from ..sim.resources import Store
+from ..sim.rpc import Reply, RpcAgent
+from .data import ZnodeStore
+from .errors import (
+    ConnectionLossError,
+    NotLeaderError,
+    ZKError,
+)
+from .protocol import (
+    Ack,
+    Commit,
+    FollowerInfo,
+    Ping,
+    Pong,
+    Propose,
+    ReadRequest,
+    SyncResponse,
+    Vote,
+    WatchEvent,
+    WriteRequest,
+)
+
+LOOKING = "looking"
+LEADING = "leading"
+FOLLOWING = "following"
+
+
+@dataclass
+class _Outstanding:
+    txn: tuple
+    result: Any
+    done: Event
+    acks: Set[int] = field(default_factory=set)
+    ready: bool = False
+
+
+class ZKServer:
+    """A member of a ZooKeeper ensemble, bound to a simulated node."""
+
+    def __init__(
+        self,
+        node: Node,
+        sid: int,
+        peers: Dict[int, str],
+        params: Optional[ZKParams] = None,
+        static_leader: Optional[int] = None,
+        observer: bool = False,
+        voter_count: Optional[int] = None,
+    ):
+        self.node = node
+        self.sim = node.sim
+        self.sid = sid
+        self.peers = dict(peers)            # sid -> endpoint (includes self)
+        self.endpoint = peers[sid]
+        self.params = params or ZKParams()
+        self.static_leader = static_leader
+        # Observers replicate state and serve reads but never vote or ack
+        # proposals — read fan-out without slowing the write quorum.
+        self.observer = observer
+        self.ensemble_size = voter_count if voter_count is not None \
+            else len(peers)
+        self.quorum = self.ensemble_size // 2 + 1
+
+        # ---- durable state (conceptually on disk; survives crash) --------
+        self.log: List[Tuple[int, tuple]] = []   # (zxid, txn) in order
+        self.promised_epoch = 0
+        self._snapshot: Optional[list] = None    # last checkpoint
+        self._snapshot_zxid = 0
+
+        # ---- volatile state ----------------------------------------------
+        self.store = ZnodeStore()
+        self.commit_index = 0
+        self.role = LOOKING
+        self.epoch = 0
+        self.leader_sid: Optional[int] = None
+        self.activated = False                    # leader: quorum synced
+
+        # leader-only
+        self.spec_store = ZnodeStore()
+        self.zxid_counter = 0
+        self.outstanding: Dict[int, _Outstanding] = {}
+        self.out_queue: deque[int] = deque()
+        self.active_followers: Set[int] = set()
+        self.active_observers: Set[int] = set()
+
+        # follower-only
+        self.pending_commit = 0                   # highest Commit.upto seen
+        self._syncing = False                     # buffering proposals
+        self._presync: List[Propose] = []
+
+        # sessions / watches
+        self._session_counter = 0
+        self.sessions: Dict[int, str] = {}        # session id -> client endpoint
+        self.session_last_contact: Dict[int, float] = {}
+        self.data_watches: Dict[str, Set[str]] = {}
+        self.child_watches: Dict[str, Set[str]] = {}
+        self.exist_watches: Dict[str, Set[str]] = {}
+
+        # liveness (failure detection mode)
+        self.last_ping_at = 0.0
+        self.last_pong_at: Dict[int, float] = {}
+        self.election_round = 0
+        self._votes: Dict[int, Tuple[int, int]] = {}
+        self._my_vote: Tuple[int, int] = (0, 0)
+
+        # pipelines
+        self._log_queue: deque = deque()
+        self._log_kick = Store(self.sim)
+        self._apply_kick = Store(self.sim)
+
+        # counters for tests / benchmarks
+        self.stats = {"reads": 0, "writes": 0, "proposals": 0, "commits": 0,
+                      "forwards": 0, "elections": 0}
+
+        self.agent = RpcAgent(node, self.endpoint)
+        self._register_handlers()
+        node.on_crash(self._on_crash)
+        node.on_recover(self._on_recover)
+        self._start_pipelines()
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def _register_handlers(self) -> None:
+        a = self.agent
+        a.register("read", self._h_read)
+        a.register("write", self._h_write)
+        a.register("fwd_write", self._h_fwd_write)
+        a.register("connect", self._h_connect)
+        a.register("close_session", self._h_close_session)
+        a.register("follower_info", self._h_follower_info)
+        a.register("sync", self._h_sync)
+        a.register("commit_index", self._h_commit_index)
+        a.register_fast("propose", self._f_propose)
+        a.register_fast("ack", self._f_ack)
+        a.register_fast("commit", self._f_commit)
+        a.register_fast("ping", self._f_ping)
+        a.register_fast("pong", self._f_pong)
+        a.register_fast("vote", self._f_vote)
+        a.register_fast("session_ping", self._f_session_ping)
+
+    def _start_pipelines(self) -> None:
+        self.node.spawn(self._logger_loop(), f"zk{self.sid}.logger")
+        self.node.spawn(self._applier_loop(), f"zk{self.sid}.applier")
+        if self.params.checkpoint_interval > 0:
+            self.node.spawn(self._checkpoint_loop(), f"zk{self.sid}.ckpt")
+        if self.params.failure_detection:
+            self.node.spawn(self._heartbeat_loop(), f"zk{self.sid}.heartbeat")
+            self.node.spawn(self._watchdog_loop(), f"zk{self.sid}.watchdog")
+        if self.params.session_tracking:
+            self.node.spawn(self._session_watchdog_loop(),
+                            f"zk{self.sid}.sessions")
+
+    @property
+    def last_logged_zxid(self) -> int:
+        return self.log[-1][0] if self.log else self._snapshot_zxid
+
+    def followers(self) -> List[int]:
+        return [sid for sid in self.peers if sid != self.sid]
+
+    def _cast_peer(self, sid: int, method: str, args: Any, size: int = 160) -> None:
+        self.agent.cast(self.peers[sid], method, args, size=size)
+
+    # ------------------------------------------------------------------
+    # bootstrap (static roles for healthy-cluster benchmarks)
+    # ------------------------------------------------------------------
+    def boot_static(self) -> None:
+        """Assume the configured static leader; no election traffic."""
+        assert self.static_leader is not None
+        self.epoch = 1
+        self.promised_epoch = 1
+        self.leader_sid = self.static_leader
+        if self.sid == self.static_leader:
+            self.role = LEADING
+            self.zxid_counter = 0
+            # Only voters are pre-activated; observers register themselves
+            # by syncing with the leader at boot.
+            self.active_followers = {s for s in self.followers()
+                                     if s < self.ensemble_size}
+            self.activated = True
+        elif self.observer:
+            from .election import follow
+            self._syncing = True
+            self._presync = []
+            self.role = FOLLOWING
+            self.node.spawn(follow(self, self.static_leader),
+                            f"zk{self.sid}.observe")
+        else:
+            self.role = FOLLOWING
+        self.last_ping_at = self.sim.now
+
+    # ------------------------------------------------------------------
+    # client-facing handlers
+    # ------------------------------------------------------------------
+    def _h_connect(self, src: str, args: Any) -> Generator:
+        yield from self.node.cpu_work(self.params.session_cpu)
+        if self.role == LOOKING:
+            raise ConnectionLossError(msg=f"zk{self.sid} has no leader")
+        self._session_counter += 1
+        session = (self.sid << 40) | self._session_counter
+        self.sessions[session] = src
+        self.session_last_contact[session] = self.sim.now
+        return session
+
+    def _h_close_session(self, src: str, session: int) -> Generator:
+        yield from self.node.cpu_work(self.params.session_cpu)
+        yield from self._expire_session(session)
+        return True
+
+    def _f_session_ping(self, src: str, session: int) -> None:
+        if session in self.sessions:
+            self.session_last_contact[session] = self.sim.now
+
+    def _session_watchdog_loop(self) -> Generator:
+        """Expire sessions whose client stopped heartbeating; their
+        ephemeral znodes are deleted through the normal write path —
+        exactly how the real server reclaims dead clients' state."""
+        timeout = self.params.session_timeout
+        while True:
+            try:
+                yield self.sim.timeout(timeout / 2)
+            except Interrupt:
+                return
+            now = self.sim.now
+            for session, last in list(self.session_last_contact.items()):
+                if now - last > timeout and session in self.sessions:
+                    yield from self._expire_session(session)
+
+    def _expire_session(self, session: int) -> Generator:
+        """Delete the session's ephemerals through the normal write path."""
+        self.sessions.pop(session, None)
+        self.session_last_contact.pop(session, None)
+        paths = sorted(self.store.ephemerals.get(session, ()), reverse=True)
+        for path in paths:
+            req = WriteRequest(op="delete", path=path, version=-1)
+            try:
+                yield from self._route_write(req)
+            except ZKError:
+                pass  # concurrent deletion is fine
+
+    def expire_session(self, session: int):
+        """Test/failure-injection hook: expire from outside a handler."""
+        return self.node.spawn(self._expire_session(session),
+                               f"zk{self.sid}.expire")
+
+    def _h_read(self, src: str, req: ReadRequest) -> Generator:
+        yield from self.node.cpu_work(self.params.read_cpu)
+        if self.role == LOOKING:
+            raise ConnectionLossError(msg=f"zk{self.sid} is electing")
+        self.stats["reads"] += 1
+        p = self.params
+        if req.op == "exists":
+            stat = self.store.exists(req.path)
+            if req.watch:
+                table = self.data_watches if stat is not None else self.exist_watches
+                table.setdefault(req.path, set()).add(src)
+            return Reply(stat, size=p.resp_base_size)
+        if req.op == "get":
+            data, stat = self.store.get(req.path)  # raises NoNodeError
+            if req.watch:
+                self.data_watches.setdefault(req.path, set()).add(src)
+            return Reply((data, stat), size=p.resp_base_size + len(data))
+        if req.op == "children":
+            names = self.store.get_children(req.path)
+            if req.watch:
+                self.child_watches.setdefault(req.path, set()).add(src)
+            size = p.resp_base_size + sum(len(n) + 4 for n in names)
+            return Reply(names, size=size)
+        raise ZKError(req.path, f"unknown read op {req.op!r}")
+
+    def _h_write(self, src: str, req: WriteRequest) -> Generator:
+        result = yield from self._route_write(req)
+        return result
+
+    def _route_write(self, req: WriteRequest) -> Generator:
+        if self.role == LEADING:
+            result = yield from self._process_write(req)
+            return result
+        if self.role == FOLLOWING and self.leader_sid is not None:
+            self.stats["forwards"] += 1
+            yield from self.node.cpu_work(self.params.forward_cpu)
+            result = yield from self.agent.call(
+                self.peers[self.leader_sid], "fwd_write", req,
+                size=self._req_size(req), timeout=5.0)
+            return result
+        raise ConnectionLossError(msg=f"zk{self.sid} has no leader")
+
+    def _h_commit_index(self, src: str, args: Any) -> Generator:
+        if self.role != LEADING:
+            raise NotLeaderError(msg=f"zk{self.sid} is not the leader")
+        yield from self.node.cpu_work(self.params.forward_cpu)
+        return self.commit_index
+
+    def _h_sync(self, src: str, path: str) -> Generator:
+        """Flush the leader pipeline to this replica (zoo_sync): after it
+        returns, this server has applied every write committed before the
+        sync was issued."""
+        yield from self.node.cpu_work(self.params.forward_cpu)
+        if self.role == LOOKING:
+            raise ConnectionLossError(msg=f"zk{self.sid} is electing")
+        if self.role == LEADING:
+            horizon = self.commit_index
+        else:
+            horizon = yield from self.agent.call(
+                self.peers[self.leader_sid], "commit_index", None,
+                timeout=5.0)
+        while self.commit_index < horizon:
+            yield self.sim.timeout(self.params.log_delay)
+        return self.commit_index
+
+    def _h_fwd_write(self, src: str, req: WriteRequest) -> Generator:
+        if self.role != LEADING:
+            raise NotLeaderError(msg=f"zk{self.sid} is not the leader")
+        result = yield from self._process_write(req)
+        return result
+
+    def _req_size(self, req: WriteRequest) -> int:
+        base = self.params.req_base_size + len(req.path) + len(req.data)
+        for sub in req.ops:
+            base += len(sub.path) + len(sub.data) + 16
+        return base
+
+    # ------------------------------------------------------------------
+    # leader write pipeline
+    # ------------------------------------------------------------------
+    def _validate(self, req: WriteRequest) -> Tuple[tuple, Any]:
+        """Validate against the speculative tree; return (txn, client result).
+
+        Must run without yielding so validation+speculative-apply is atomic
+        with zxid assignment.
+        """
+        spec = self.spec_store
+        if req.op == "create":
+            eph = req.session if req.ephemeral else 0
+            path = spec.check_create(req.path, eph, req.sequential)
+            return ("create", path, req.data, eph, req.sequential), path
+        if req.op == "delete":
+            spec.check_delete(req.path, req.version)
+            return ("delete", req.path), True
+        if req.op == "set":
+            spec.check_set_data(req.path, req.version)
+            return ("set", req.path, req.data), True
+        if req.op == "multi":
+            subs, results = self._validate_multi(req)
+            return ("multi", tuple(subs)), results
+        raise ZKError(req.path, f"unknown write op {req.op!r}")
+
+    def _validate_multi(self, req: WriteRequest) -> Tuple[List[tuple], List[Any]]:
+        """Validate a multi against spec + an overlay of earlier sub-ops.
+
+        The spec tree is never mutated here (the whole multi is applied
+        once, atomically, on commit), so a failed validation needs no
+        rollback. Sequential creates inside a multi are not supported
+        (DUFS never needs them).
+        """
+        from .data import split_path, validate_path
+        from .errors import (BadArgumentsError, NoNodeError, NodeExistsError,
+                             NotEmptyError)
+
+        spec = self.spec_store
+        created: set = set()
+        deleted: set = set()
+
+        def alive(path: str) -> bool:
+            if path in created:
+                return True
+            if path in deleted:
+                return False
+            return spec.exists(path) is not None
+
+        def has_children(path: str) -> bool:
+            try:
+                names = spec.get_children(path)
+            except NoNodeError:
+                names = []
+            prefix = path if path != "/" else ""
+            for name in names:
+                if f"{prefix}/{name}" not in deleted:
+                    return True
+            return any(c.startswith(f"{prefix}/")
+                       and "/" not in c[len(prefix) + 1:] for c in created)
+
+        subs: List[tuple] = []
+        results: List[Any] = []
+        for sub in req.ops:
+            if sub.op == "check":
+                if not alive(sub.path):
+                    raise NoNodeError(sub.path)
+                if sub.path not in created and sub.path not in deleted:
+                    spec.check_version(sub.path, sub.version)
+                continue
+            if sub.op == "create":
+                if sub.sequential:
+                    raise BadArgumentsError(sub.path,
+                                            "sequential create in multi")
+                validate_path(sub.path)
+                parent, name = split_path(sub.path)
+                if not name or not alive(parent):
+                    raise NoNodeError(sub.path)
+                if alive(sub.path):
+                    raise NodeExistsError(sub.path)
+                created.add(sub.path)
+                deleted.discard(sub.path)
+                eph = sub.session if sub.ephemeral else 0
+                subs.append(("create", sub.path, sub.data, eph, False))
+                results.append(sub.path)
+            elif sub.op == "delete":
+                if not alive(sub.path):
+                    raise NoNodeError(sub.path)
+                if has_children(sub.path):
+                    raise NotEmptyError(sub.path)
+                if sub.path not in created:
+                    spec.check_version(sub.path, sub.version)
+                deleted.add(sub.path)
+                created.discard(sub.path)
+                subs.append(("delete", sub.path))
+                results.append(True)
+            elif sub.op == "set":
+                if not alive(sub.path):
+                    raise NoNodeError(sub.path)
+                if sub.path not in created:
+                    spec.check_set_data(sub.path, sub.version)
+                subs.append(("set", sub.path, sub.data))
+                results.append(True)
+            else:
+                raise ZKError(sub.path, f"bad multi op {sub.op!r}")
+        return subs, results
+
+    def _peek_zxid(self) -> int:
+        return (self.epoch << 32) | (self.zxid_counter + 1)
+
+    def _next_zxid(self) -> int:
+        self.zxid_counter += 1
+        return (self.epoch << 32) | self.zxid_counter
+
+    def _process_write(self, req: WriteRequest) -> Generator:
+        if not self.activated:
+            raise ConnectionLossError(msg=f"zk{self.sid} leader not activated")
+        p = self.params
+        nf = len(self.active_followers)
+        extra = (p.set_extra_cpu if req.op == "set"
+                 else p.delete_extra_cpu if req.op == "delete" else 0.0)
+        n_obs = len(self.active_observers)
+        yield from self.node.cpu_work(
+            p.write_leader_cpu + extra + nf * p.write_per_follower_cpu
+            + n_obs * p.write_per_follower_cpu * 0.5)
+        if self.role != LEADING:  # demoted while queued for CPU
+            raise NotLeaderError(msg=f"zk{self.sid} lost leadership")
+        # ---- atomic section: validate + speculative apply + sequence ----
+        txn, result = self._validate(req)  # raises ZKError to caller
+        zxid = self._next_zxid()
+        self.spec_store.apply(txn, zxid, self.sim.now)
+        self.log.append((zxid, txn))
+        out = _Outstanding(txn=txn, result=result, done=self.sim.event())
+        self.outstanding[zxid] = out
+        self.out_queue.append(zxid)
+        self.stats["writes"] += 1
+        self.stats["proposals"] += 1
+        prop = Propose(zxid, txn, self.epoch)
+        psize = p.proposal_base_size + self._req_size(req)
+        for sid in self.active_followers:
+            self._cast_peer(sid, "propose", prop, size=psize)
+        for sid in self.active_observers:
+            # INFORM stream: observers replicate without acking; the
+            # leader pays a smaller marshalling cost for them.
+            self._cast_peer(sid, "propose", prop, size=psize)
+        # self-ack goes through the group-committed logger
+        self._log_queue.append(("self_ack", zxid))
+        self._log_kick.put(True)
+        yield out.done
+        return result
+
+    # ------------------------------------------------------------------
+    # logger pipeline (leader self-acks; follower log+ACK) — group commit
+    # ------------------------------------------------------------------
+    def _logger_loop(self) -> Generator:
+        p = self.params
+        try:
+            yield from self._logger_body(p)
+        except Interrupt:
+            return
+
+    def _logger_body(self, p) -> Generator:
+        while True:
+            got = yield self._log_kick.get()
+            if got is None:
+                return
+            while self._log_queue:
+                batch = []
+                while self._log_queue and len(batch) < p.log_batch_max:
+                    batch.append(self._log_queue.popleft())
+                follower_items = [b for b in batch if b[0] == "log"]
+                if follower_items:
+                    yield from self.node.cpu_work(
+                        p.follower_log_cpu * len(follower_items))
+                yield self.sim.timeout(p.log_delay)  # one fsync for the batch
+                ack_zxids = []
+                for item in batch:
+                    if item[0] == "self_ack":
+                        self._on_ack(self.sid, item[1])
+                    else:  # ("log", zxid, txn, leader_sid)
+                        _, zxid, txn, leader_sid = item
+                        self.log.append((zxid, txn))
+                        ack_zxids.append((leader_sid, zxid))
+                if ack_zxids:
+                    if not self.observer:
+                        leader_sid = ack_zxids[0][0]
+                        self._cast_peer(
+                            leader_sid, "ack",
+                            Ack(tuple(z for _, z in ack_zxids), self.sid))
+                    self._apply_kick.put(True)  # commits may now be applicable
+
+    # ------------------------------------------------------------------
+    # ZAB casts
+    # ------------------------------------------------------------------
+    def _f_propose(self, src: str, prop: Propose) -> None:
+        if self._syncing:
+            # Mid-sync: the leader already counts us as active, so buffer
+            # proposals until the sync response is applied (they are FIFO
+            # behind it on the wire, but our coroutine applies it late).
+            self._presync.append(prop)
+            return
+        if self.role != FOLLOWING or prop.epoch != self.epoch:
+            return  # stale leader
+        if self.log and prop.zxid <= self.log[-1][0]:
+            return  # duplicate
+        self._log_queue.append(("log", prop.zxid, prop.txn, self.leader_sid))
+        self._log_kick.put(True)
+
+    def _f_ack(self, src: str, ack: Ack) -> None:
+        if self.role != LEADING:
+            return
+        for zxid in ack.zxid if isinstance(ack.zxid, tuple) else (ack.zxid,):
+            out = self.outstanding.get(zxid)
+            if out is None:
+                continue
+            out.acks.add(ack.sid)
+            if not out.ready and len(out.acks) >= self.quorum:
+                out.ready = True
+        self._advance_commit()
+
+    def _on_ack(self, sid: int, zxid: int) -> None:
+        out = self.outstanding.get(zxid)
+        if out is None:
+            return
+        out.acks.add(sid)
+        if not out.ready and len(out.acks) >= self.quorum:
+            out.ready = True
+        self._advance_commit()
+
+    def _advance_commit(self) -> None:
+        """Commit ready proposals strictly in zxid order."""
+        advanced = False
+        while self.out_queue:
+            zxid = self.out_queue[0]
+            out = self.outstanding.get(zxid)
+            if out is None or not out.ready:
+                break
+            self.out_queue.popleft()
+            advanced = True
+        if advanced:
+            self._apply_kick.put(True)
+
+    def _f_commit(self, src: str, commit: Commit) -> None:
+        if self.role != FOLLOWING:
+            return
+        if commit.zxid > self.pending_commit:
+            self.pending_commit = commit.zxid
+            self._apply_kick.put(True)
+
+    # ------------------------------------------------------------------
+    # applier pipeline: apply committed txns to the local tree, in order
+    # ------------------------------------------------------------------
+    def _applier_loop(self) -> Generator:
+        p = self.params
+        try:
+            yield from self._applier_body(p)
+        except Interrupt:
+            return
+
+    def _applier_body(self, p) -> Generator:
+        while True:
+            got = yield self._apply_kick.get()
+            if got is None:
+                return
+            while True:
+                todo = self._applicable()
+                if not todo:
+                    break
+                yield from self.node.cpu_work(p.apply_cpu * len(todo))
+                for zxid, txn in todo:
+                    self.store.apply(txn, zxid, self.sim.now)
+                    self.commit_index = zxid
+                    self.stats["commits"] += 1
+                    self._fire_watches(txn)
+                    if self.role == LEADING:
+                        out = self.outstanding.pop(zxid, None)
+                        if out is not None and not out.done.triggered:
+                            out.done.succeed(out.result)
+                if self.role == LEADING and todo:
+                    upto = todo[-1][0]
+                    for sid in self.active_followers | self.active_observers:
+                        self._cast_peer(sid, "commit", Commit(upto), size=48)
+
+    def _applicable(self) -> List[Tuple[int, tuple]]:
+        """Next run of committed-but-unapplied log entries."""
+        if self.role == LEADING:
+            # Committed = contiguous ready prefix removed from out_queue.
+            horizon = self.out_queue[0] if self.out_queue else None
+            todo = []
+            for zxid, txn in self._log_tail(self.commit_index):
+                if horizon is not None and zxid >= horizon:
+                    break
+                if zxid in self.outstanding and not self.outstanding[zxid].ready:
+                    break
+                todo.append((zxid, txn))
+            return todo
+        if self.role == FOLLOWING:
+            upto = self.pending_commit
+            return [(z, t) for z, t in self._log_tail(self.commit_index)
+                    if z <= upto]
+        return []
+
+    def _log_tail(self, after_zxid: int) -> List[Tuple[int, tuple]]:
+        # log is zxid-ordered; binary search would be faster but tails are
+        # short in steady state.
+        out = []
+        for i in range(len(self.log) - 1, -1, -1):
+            if self.log[i][0] <= after_zxid:
+                break
+            out.append(self.log[i])
+        out.reverse()
+        return out
+
+    # ------------------------------------------------------------------
+    # watches
+    # ------------------------------------------------------------------
+    def _fire_watches(self, txn: tuple) -> None:
+        kind = txn[0]
+        if kind == "multi":
+            for sub in txn[1]:
+                self._fire_watches(sub)
+            return
+        path = txn[1]
+        from .data import split_path
+        parent, _ = split_path(path)
+        if kind == "create":
+            self._notify(self.exist_watches, path, WatchEvent("created", path))
+            self._notify(self.child_watches, parent, WatchEvent("child", parent))
+        elif kind == "delete":
+            self._notify(self.data_watches, path, WatchEvent("deleted", path))
+            self._notify(self.exist_watches, path, WatchEvent("deleted", path))
+            self._notify(self.child_watches, parent, WatchEvent("child", parent))
+            self._notify(self.child_watches, path, WatchEvent("deleted", path))
+        elif kind == "set":
+            self._notify(self.data_watches, path, WatchEvent("changed", path))
+
+    def _notify(self, table: Dict[str, Set[str]], path: str,
+                event: WatchEvent) -> None:
+        watchers = table.pop(path, None)
+        if not watchers:
+            return
+        for client in watchers:
+            self.agent.cast(client, "watch_event", event, size=64)
+
+    # ------------------------------------------------------------------
+    # sync of (re)joining followers
+    # ------------------------------------------------------------------
+    def _h_follower_info(self, src: str, info: FollowerInfo) -> Generator:
+        if self.role != LEADING:
+            raise NotLeaderError(msg=f"zk{self.sid} is not leading")
+        yield from self.node.cpu_work(self.params.session_cpu)
+        if self.role != LEADING:
+            raise NotLeaderError(msg=f"zk{self.sid} lost leadership")
+        # ---- atomic: snapshot log tail + activate the follower ----------
+        my_zxids = [z for z, _ in self.log]
+        follower_zxids = list(info.last_zxid) if isinstance(info.last_zxid, tuple) \
+            else None
+        if follower_zxids is None:
+            # caller sent only a scalar last zxid: treat as prefix length
+            common = 0
+            for z in my_zxids:
+                if z <= info.last_zxid:
+                    common += 1
+                else:
+                    break
+        else:
+            common = 0
+            for a, b in zip(my_zxids, follower_zxids):
+                if a == b:
+                    common += 1
+                else:
+                    break
+        entries = tuple(self.log[common:])
+        truncate_to = my_zxids[common - 1] if common else 0
+        snapshot = None
+        snapshot_zxid = 0
+        if common == 0 and self._snapshot_zxid > 0:
+            # Our log was checkpoint-truncated and shares no prefix with the
+            # follower's: ship the snapshot the log now starts from.
+            snapshot = self._snapshot
+            snapshot_zxid = self._snapshot_zxid
+        if getattr(info, "observer", False):
+            self.active_observers.add(info.sid)
+        else:
+            self.active_followers.add(info.sid)
+            if len(self.active_followers) + 1 >= self.quorum:
+                self.activated = True
+        resp = SyncResponse(self.epoch, truncate_to, entries,
+                            self.commit_index, snapshot, snapshot_zxid)
+        size = 160 + 64 * len(entries) + (128 * len(snapshot) if snapshot else 0)
+        return Reply(resp, size=size)
+
+    # ------------------------------------------------------------------
+    # heartbeats & failure detection (reliability experiments only)
+    # ------------------------------------------------------------------
+    def _heartbeat_loop(self) -> Generator:
+        p = self.params
+        while True:
+            try:
+                yield self.sim.timeout(p.ping_interval)
+            except Interrupt:
+                return
+            if self.role == LEADING:
+                for sid in self.followers():
+                    self._cast_peer(sid, "ping", Ping(self.sid, self.epoch), size=32)
+
+    def _f_ping(self, src: str, ping: Ping) -> None:
+        if ping.epoch >= self.epoch and self.role == FOLLOWING:
+            self.last_ping_at = self.sim.now
+            self._cast_peer(ping.sid, "pong", Pong(self.sid), size=32)
+        elif ping.epoch > self.epoch and self.role == LOOKING:
+            self.last_ping_at = self.sim.now
+
+    def _f_pong(self, src: str, pong: Pong) -> None:
+        self.last_pong_at[pong.sid] = self.sim.now
+
+    def _watchdog_loop(self) -> Generator:
+        from .election import start_election  # local import: cycle break
+        p = self.params
+        while True:
+            try:
+                yield self.sim.timeout(p.ping_timeout / 2)
+            except Interrupt:
+                return
+            now = self.sim.now
+            if self.role == FOLLOWING:
+                if now - self.last_ping_at > p.ping_timeout:
+                    start_election(self)
+            elif self.role == LEADING:
+                alive = sum(1 for sid in self.active_followers
+                            if now - self.last_pong_at.get(sid, 0.0)
+                            <= p.ping_timeout)
+                if alive + 1 < self.quorum and now > p.ping_timeout:
+                    self._step_down()
+                    start_election(self)
+
+    def _step_down(self) -> None:
+        self.role = LOOKING
+        self.activated = False
+        self.active_followers.clear()
+        for zxid, out in list(self.outstanding.items()):
+            if not out.done.triggered:
+                out.done.fail(ConnectionLossError(
+                    msg=f"zk{self.sid} lost leadership"))
+                out.done._used = True
+        self.outstanding.clear()
+        self.out_queue.clear()
+
+    def _f_vote(self, src: str, vote: Vote) -> None:
+        from .election import on_vote
+        on_vote(self, vote)
+
+    # ------------------------------------------------------------------
+    # crash / recovery
+    # ------------------------------------------------------------------
+    def _checkpoint_loop(self) -> Generator:
+        try:
+            while True:
+                yield self.sim.timeout(self.params.checkpoint_interval)
+                if self.role != LOOKING:
+                    yield from self.node.cpu_work(
+                        self.params.apply_cpu * max(1, len(self.store) // 64))
+                    self.checkpoint()
+        except Interrupt:
+            return
+
+    def checkpoint(self) -> None:
+        """Snapshot the committed tree and truncate the replayed log prefix
+        (the paper notes ZooKeeper 'periodically checkpoints on disk')."""
+        self._snapshot = self.store.snapshot()
+        self._snapshot_zxid = self.commit_index
+        self.log = [(z, t) for z, t in self.log if z > self.commit_index]
+
+    def _on_crash(self) -> None:
+        # Volatile state is lost; durable log/snapshot/promised_epoch stay.
+        self.role = LOOKING
+        self.activated = False
+        self.leader_sid = None
+        self.outstanding.clear()
+        self.out_queue.clear()
+        self.active_followers.clear()
+        self.active_observers.clear()
+        self.sessions.clear()
+        self.data_watches.clear()
+        self.child_watches.clear()
+        self.exist_watches.clear()
+        self._log_queue.clear()
+        self._votes.clear()
+
+    def _rebuild_from_disk(self) -> None:
+        if self._snapshot is not None:
+            self.store = ZnodeStore.from_snapshot(self._snapshot)
+        else:
+            self.store = ZnodeStore()
+        self.commit_index = self._snapshot_zxid
+        self.pending_commit = self.commit_index
+        # Conservative: everything logged before the crash may have been
+        # committed; ZAB resolves actual commit point during sync/election.
+
+    def _on_recover(self) -> None:
+        self._log_kick = Store(self.sim)
+        self._apply_kick = Store(self.sim)
+        self._rebuild_from_disk()
+        self._start_pipelines()
+        if self.params.failure_detection:
+            from .election import start_election
+            start_election(self)
+        else:
+            assert self.static_leader is not None and \
+                self.static_leader != self.sid, \
+                "static-role mode cannot recover the leader"
+            self.node.spawn(self._rejoin_static(), f"zk{self.sid}.rejoin")
+
+    def _rejoin_static(self) -> Generator:
+        from .election import follow
+        yield self.sim.timeout(0)
+        yield from follow(self, self.static_leader)

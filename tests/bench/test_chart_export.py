@@ -1,0 +1,67 @@
+"""CSV export and ASCII chart rendering."""
+
+import pytest
+
+from repro.bench.chart import render_figure_charts, render_panel
+from repro.bench.export import figure_to_csv, write_figure_csv
+from repro.bench.figures import FigureResult
+
+
+@pytest.fixture
+def fig():
+    f = FigureResult("figX", "Demo", "procs")
+    for x, y in [(64, 1000.0), (128, 2000.0), (256, 4000.0)]:
+        f.add("op/a", x, y)
+        f.add("op/b", x, y / 2)
+    return f
+
+
+def test_csv_long_format(fig):
+    text = figure_to_csv(fig)
+    lines = text.strip().splitlines()
+    assert lines[0] == "figure,panel,variant,x,value"
+    assert len(lines) == 1 + 6
+    assert "figX,op,a,64,1000" in text
+    assert "figX,op,b,256,2000" in text
+
+
+def test_csv_write_to_dir(tmp_path, fig):
+    path = write_figure_csv(fig, tmp_path / "out")
+    assert path.exists()
+    assert path.name == "figX.csv"
+    assert "figure,panel" in path.read_text()
+
+
+def test_panel_chart_contains_markers_and_axis(fig):
+    text = render_panel("op", {"a": fig.series["op/a"],
+                               "b": fig.series["op/b"]})
+    assert "o" in text and "x" in text  # two series markers
+    assert "o=a" in text and "x=b" in text
+    assert "4.2k" in text or "4.1k" in text  # ymax label ~4000*1.05
+    assert "256" in text  # x axis label
+
+
+def test_panel_chart_empty():
+    assert "no data" in render_panel("op", {})
+
+
+def test_figure_charts_all_panels(fig):
+    fig.add("other/a", 64, 10.0)
+    text = render_figure_charts(fig)
+    assert text.count("(y max") == 2
+    assert "figX" in text
+
+
+def test_chart_handles_single_point():
+    f = FigureResult("f", "t", "x")
+    f.add("p/s", 64, 100.0)
+    text = render_panel("p", {"s": dict(f.series)["p/s"]})
+    assert "o" in text
+
+
+def test_cli_chart_flag(capsys):
+    from repro.cli import main
+
+    assert main(["fig11", "--scale", "quick", "--chart"]) == 0
+    out = capsys.readouterr().out
+    assert "(y max" in out

@@ -1,0 +1,68 @@
+"""DUFSDeployment assembly helpers."""
+
+import pytest
+
+from repro.core import build_dufs_deployment
+
+
+def test_mounts_and_nodes_round_robin():
+    dep = build_dufs_deployment(n_zk=3, n_backends=2, n_client_nodes=3,
+                                backend="local")
+    assert dep.mount_for(0) is dep.mounts[0]
+    assert dep.mount_for(3) is dep.mounts[0]
+    assert dep.mount_for(4) is dep.mounts[1]
+    assert dep.node_for(5) is dep.client_nodes[2]
+
+
+def test_call_runs_coroutine_to_completion():
+    dep = build_dufs_deployment(n_zk=1, n_backends=2, n_client_nodes=1,
+                                backend="local")
+    assert dep.call(dep.mounts[0].mkdir, "/x") is True
+
+    def compound():
+        yield from dep.mounts[0].create("/x/y")
+        st = yield from dep.mounts[0].stat("/x/y")
+        return st.is_file
+
+    assert dep.call(lambda: compound())
+
+
+def test_colocated_zk_prefers_local_server():
+    dep = build_dufs_deployment(n_zk=4, n_backends=2, n_client_nodes=4,
+                                backend="local", co_locate_zk=True)
+    for i, zkc in enumerate(dep.zk_clients):
+        assert zkc.server == dep.ensemble.endpoints[i]
+        # server endpoint is registered on the same host as the client
+        assert dep.cluster.network.host_of(zkc.server) == \
+            dep.client_nodes[i].name
+
+
+def test_dedicated_zk_nodes_are_separate():
+    dep = build_dufs_deployment(n_zk=3, n_backends=2, n_client_nodes=2,
+                                backend="local", co_locate_zk=False)
+    zk_hosts = {dep.cluster.network.host_of(ep)
+                for ep in dep.ensemble.endpoints}
+    client_hosts = {n.name for n in dep.client_nodes}
+    assert not (zk_hosts & client_hosts)
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError):
+        build_dufs_deployment(backend="tapes")
+
+
+def test_deterministic_client_ids():
+    a = build_dufs_deployment(n_zk=1, n_backends=2, n_client_nodes=3,
+                              backend="local", seed=5)
+    b = build_dufs_deployment(n_zk=1, n_backends=2, n_client_nodes=3,
+                              backend="local", seed=5)
+    assert [c.fidgen.client_id for c in a.clients] == \
+        [c.fidgen.client_id for c in b.clients]
+
+
+def test_backend_counts_match_request():
+    for kind, nb in (("local", 3), ("lustre", 2), ("pvfs", 2)):
+        dep = build_dufs_deployment(n_zk=1, n_backends=nb, n_client_nodes=1,
+                                    backend=kind)
+        assert len(dep.backends) == nb
+        assert all(len(c.backends) == nb for c in dep.clients)

@@ -1,0 +1,67 @@
+"""Znode payload codec (paper §IV-D)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fid import make_fid
+from repro.core.metadata import (
+    DirPayload,
+    FilePayload,
+    SymlinkPayload,
+    decode_payload,
+)
+
+
+def test_dir_roundtrip():
+    p = DirPayload(mode=0o750, uid=5, gid=6)
+    assert decode_payload(p.encode()) == p
+
+
+def test_file_roundtrip():
+    p = FilePayload(fid=make_fid(3, 99), mode=0o600)
+    assert decode_payload(p.encode()) == p
+
+
+def test_symlink_roundtrip():
+    p = SymlinkPayload(target="/a/b:with:colons")
+    assert decode_payload(p.encode()) == p
+
+
+def test_type_byte_distinguishes():
+    d = decode_payload(DirPayload().encode())
+    f = decode_payload(FilePayload(fid=make_fid(1, 1)).encode())
+    l = decode_payload(SymlinkPayload("/t").encode())
+    assert isinstance(d, DirPayload)
+    assert isinstance(f, FilePayload)
+    assert isinstance(l, SymlinkPayload)
+
+
+def test_bad_payloads_rejected():
+    with pytest.raises(ValueError):
+        decode_payload(b"")
+    with pytest.raises(ValueError):
+        decode_payload(b"X:whatever")
+
+
+def test_payload_is_compact():
+    """The data field stays small — ZooKeeper memory is the scarce
+    resource (paper §V-E)."""
+    assert len(FilePayload(fid=make_fid(2**64 - 1, 2**64 - 1)).encode()) <= 40
+    assert len(DirPayload().encode()) <= 16
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1),
+       st.integers(0, 0o7777))
+def test_file_payload_roundtrip_property(cid, ctr, mode):
+    p = FilePayload(fid=make_fid(cid, ctr), mode=mode)
+    assert decode_payload(p.encode()) == p
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.text(alphabet=st.characters(blacklist_characters="\x00",
+                                      codec="utf-8"), max_size=64))
+def test_symlink_payload_roundtrip_property(target):
+    p = SymlinkPayload(target)
+    assert decode_payload(p.encode()) == p

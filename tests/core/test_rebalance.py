@@ -1,0 +1,118 @@
+"""Elastic back-end rebalancing (§VII future work, as a library tool)."""
+
+import pytest
+
+from repro.core import build_dufs_deployment
+from repro.core.rebalance import (
+    attach_backend,
+    collect_files,
+    migrate,
+    plan_relocations,
+    rebalance_after_add,
+)
+from repro.pfs.localfs import LocalFS
+
+
+def make_dep(n_files=60, strategy="consistent"):
+    dep = build_dufs_deployment(n_zk=1, n_backends=3, n_client_nodes=1,
+                                backend="local", mapping_strategy=strategy)
+    m = dep.mounts[0]
+
+    def populate():
+        yield from m.mkdir("/data")
+        yield from m.mkdir("/data/sub")
+        for i in range(n_files):
+            parent = "/data" if i % 2 else "/data/sub"
+            yield from m.create(f"{parent}/f{i:03d}")
+        yield from m.write("/data/f001", 0, b"z" * 500)
+
+    dep.call(lambda: populate())
+    return dep
+
+
+def new_backend_factory(dep):
+    node = dep.cluster.add_node(f"local-extra{len(dep.backends)}")
+    fs = LocalFS(node)
+    dep.backends.append(fs)
+    return lambda client: fs.client()
+
+
+def test_collect_files_finds_everything():
+    dep = make_dep(20)
+    files = dep.call(lambda: collect_files(dep.clients[0]))
+    assert len(files) == 20
+    assert all(p.startswith("/data") for p, _ in files)
+
+
+def test_attach_backend_requires_consistent_mapping():
+    dep = make_dep(4, strategy="md5mod")
+    factory = new_backend_factory(dep)
+    with pytest.raises(RuntimeError):
+        attach_backend(dep.clients, factory)
+
+
+def test_full_rebalance_moves_bounded_fraction():
+    dep = make_dep(60)
+    factory = new_backend_factory(dep)
+
+    def go():
+        result = yield from rebalance_after_add(dep.clients, factory)
+        return result
+
+    new_index, moved, total = dep.call(lambda: go())
+    assert total == 60
+    assert new_index == 3
+    assert 0 < moved < total / 2   # ~1/4 expected; far below mod-N's 3/4
+    # Physical placement is complete and consistent: every virtual file
+    # still stats correctly.
+    m = dep.mounts[0]
+
+    def verify():
+        ok = 0
+        files = yield from collect_files(dep.clients[0])
+        for vpath, fid in files:
+            st = yield from m.stat(vpath)
+            ok += st.is_file
+        return ok
+
+    assert dep.call(lambda: verify()) == 60
+    # And the new mount actually holds the moved files.
+    assert dep.backends[3].ns.count_files() == moved
+
+
+def test_migrate_preserves_sizes():
+    dep = make_dep(30)
+    factory = new_backend_factory(dep)
+
+    def go():
+        result = yield from rebalance_after_add(dep.clients, factory)
+        return result
+
+    dep.call(lambda: go())
+    m = dep.mounts[0]
+
+    def check():
+        st = yield from m.stat("/data/f001")
+        return st.st_size
+
+    assert dep.call(lambda: check()) == 500
+
+
+def test_migrate_is_idempotent():
+    dep = make_dep(40)
+    coordinator = dep.clients[0]
+    files = dep.call(lambda: collect_files(coordinator))
+    old = {fid: coordinator.mapping.backend_for(fid) for _, fid in files}
+    factory = new_backend_factory(dep)
+    attach_backend(dep.clients, factory)
+    relocations = plan_relocations(coordinator, files,
+                                   lambda fid: old[fid])
+
+    def run_migrate():
+        n = yield from migrate(coordinator, relocations)
+        return n
+
+    first = dep.call(lambda: run_migrate())
+    second = dep.call(lambda: run_migrate())
+    assert first == len(relocations)
+    assert second == 0

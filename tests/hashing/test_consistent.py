@@ -1,0 +1,98 @@
+"""Consistent-hash ring: distribution fairness and bounded relocation."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import ConsistentHashRing
+
+
+def test_empty_ring_lookup_fails():
+    with pytest.raises(LookupError):
+        ConsistentHashRing().lookup("k")
+
+
+def test_add_remove_membership():
+    ring = ConsistentHashRing(["a", "b"])
+    assert ring.members == {"a", "b"}
+    ring.remove("a")
+    assert ring.members == {"b"}
+    with pytest.raises(KeyError):
+        ring.remove("a")
+    with pytest.raises(ValueError):
+        ring.add("b")
+
+
+def test_single_member_owns_everything():
+    ring = ConsistentHashRing(["only"])
+    assert all(ring.lookup(f"key{i}") == "only" for i in range(50))
+
+
+def test_lookup_deterministic():
+    r1 = ConsistentHashRing(["a", "b", "c"])
+    r2 = ConsistentHashRing(["a", "b", "c"])
+    keys = [f"file-{i}" for i in range(200)]
+    assert [r1.lookup(k) for k in keys] == [r2.lookup(k) for k in keys]
+
+
+def test_load_roughly_balanced():
+    ring = ConsistentHashRing([f"s{i}" for i in range(4)], replicas=128)
+    counts = Counter(ring.lookup(f"fid-{i}") for i in range(4000))
+    for member, count in counts.items():
+        assert 0.5 * 1000 < count < 1.6 * 1000, (member, count)
+
+
+def test_bounded_relocation_on_add():
+    """Adding a 5th member must move only ~1/5 of keys (the paper's goal)."""
+    keys = [f"fid-{i}" for i in range(3000)]
+    ring = ConsistentHashRing([f"s{i}" for i in range(4)], replicas=128)
+    before = {k: ring.lookup(k) for k in keys}
+    ring.add("s4")
+    moved = sum(1 for k in keys if ring.lookup(k) != before[k])
+    # Expect ~ 1/5 = 600; anything under 1/3 proves the bound vs mod-N
+    # (mod-N rehashing would move ~4/5 = 2400).
+    assert moved < len(keys) / 3
+    # And every moved key must have moved TO the new member.
+    for k in keys:
+        now = ring.lookup(k)
+        if now != before[k]:
+            assert now == "s4"
+
+
+def test_bounded_relocation_on_remove():
+    keys = [f"fid-{i}" for i in range(3000)]
+    ring = ConsistentHashRing([f"s{i}" for i in range(5)], replicas=128)
+    before = {k: ring.lookup(k) for k in keys}
+    ring.remove("s2")
+    for k in keys:
+        if before[k] != "s2":
+            assert ring.lookup(k) == before[k]  # untouched keys stay put
+
+
+def test_replicas_validation():
+    with pytest.raises(ValueError):
+        ConsistentHashRing(replicas=0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sets(st.text(min_size=1, max_size=8), min_size=1, max_size=6),
+       st.text(min_size=0, max_size=20))
+def test_lookup_always_returns_a_member(members, key):
+    ring = ConsistentHashRing(members, replicas=16)
+    assert ring.lookup(key) in members
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.sets(st.integers(0, 50), min_size=2, max_size=8))
+def test_removal_only_moves_keys_of_removed_member(members):
+    members = sorted(members)
+    ring = ConsistentHashRing(members, replicas=32)
+    keys = [f"k{i}" for i in range(300)]
+    before = {k: ring.lookup(k) for k in keys}
+    victim = members[0]
+    ring.remove(victim)
+    for k in keys:
+        if before[k] != victim:
+            assert ring.lookup(k) == before[k]

@@ -1,0 +1,253 @@
+"""POSIX-semantics conformance, run against every filesystem client.
+
+The same behavioural contract must hold for the local FS, the Lustre
+client, and the PVFS client (and, in tests/core, for DUFS itself) — this
+is what lets the paper swap back-ends under one DUFS prototype.
+"""
+
+import pytest
+
+from repro.errors import (
+    EEXIST,
+    EISDIR,
+    ENOENT,
+    ENOTDIR,
+    ENOTEMPTY,
+    FSError,
+)
+
+
+def expect_err(code):
+    class _Ctx:
+        def __init__(self):
+            self.err = None
+
+    return code
+
+
+def test_mkdir_stat_roundtrip(anyfs):
+    def main():
+        yield from anyfs.cli.mkdir("/d")
+        st = yield from anyfs.cli.stat("/d")
+        return st
+
+    st = anyfs.run(main())
+    assert st.is_dir
+    assert st.st_nlink >= 2
+
+
+def test_mkdir_eexist(anyfs):
+    def main():
+        yield from anyfs.cli.mkdir("/d")
+        try:
+            yield from anyfs.cli.mkdir("/d")
+        except FSError as e:
+            return e.err
+
+    assert anyfs.run(main()) == EEXIST
+
+
+def test_mkdir_missing_parent_enoent(anyfs):
+    def main():
+        try:
+            yield from anyfs.cli.mkdir("/no/such/parent")
+        except FSError as e:
+            return e.err
+
+    assert anyfs.run(main()) == ENOENT
+
+
+def test_create_and_stat_file(anyfs):
+    def main():
+        yield from anyfs.cli.mkdir("/d")
+        yield from anyfs.cli.create("/d/f")
+        st = yield from anyfs.cli.stat("/d/f")
+        return st
+
+    st = anyfs.run(main())
+    assert st.is_file
+    assert st.st_size == 0
+
+
+def test_stat_missing_enoent(anyfs):
+    def main():
+        try:
+            yield from anyfs.cli.stat("/ghost")
+        except FSError as e:
+            return e.err
+
+    assert anyfs.run(main()) == ENOENT
+
+
+def test_unlink_then_stat_enoent(anyfs):
+    def main():
+        yield from anyfs.cli.create("/f")
+        yield from anyfs.cli.unlink("/f")
+        try:
+            yield from anyfs.cli.stat("/f")
+        except FSError as e:
+            return e.err
+
+    assert anyfs.run(main()) == ENOENT
+
+
+def test_unlink_directory_eisdir(anyfs):
+    def main():
+        yield from anyfs.cli.mkdir("/d")
+        try:
+            yield from anyfs.cli.unlink("/d")
+        except FSError as e:
+            return e.err
+
+    assert anyfs.run(main()) == EISDIR
+
+
+def test_rmdir_nonempty_enotempty(anyfs):
+    def main():
+        yield from anyfs.cli.mkdir("/d")
+        yield from anyfs.cli.create("/d/f")
+        try:
+            yield from anyfs.cli.rmdir("/d")
+        except FSError as e:
+            return e.err
+
+    assert anyfs.run(main()) == ENOTEMPTY
+
+
+def test_rmdir_file_enotdir(anyfs):
+    def main():
+        yield from anyfs.cli.create("/f")
+        try:
+            yield from anyfs.cli.rmdir("/f")
+        except FSError as e:
+            return e.err
+
+    assert anyfs.run(main()) == ENOTDIR
+
+
+def test_readdir_lists_entries(anyfs):
+    def main():
+        yield from anyfs.cli.mkdir("/d")
+        yield from anyfs.cli.create("/d/f1")
+        yield from anyfs.cli.mkdir("/d/sub")
+        entries = yield from anyfs.cli.readdir("/d")
+        return entries
+
+    entries = anyfs.run(main())
+    assert [(e.name, e.is_dir) for e in entries] == [("f1", False), ("sub", True)]
+
+
+def test_rename_file(anyfs):
+    def main():
+        yield from anyfs.cli.mkdir("/d")
+        yield from anyfs.cli.create("/d/old")
+        yield from anyfs.cli.rename("/d/old", "/d/new")
+        old = None
+        try:
+            yield from anyfs.cli.stat("/d/old")
+            old = "exists"
+        except FSError:
+            pass
+        st = yield from anyfs.cli.stat("/d/new")
+        return old, st.is_file
+
+    old, is_file = anyfs.run(main())
+    assert old is None and is_file
+
+
+def test_chmod_changes_permissions(anyfs):
+    def main():
+        yield from anyfs.cli.create("/f")
+        yield from anyfs.cli.chmod("/f", 0o600)
+        st = yield from anyfs.cli.stat("/f")
+        return st
+
+    st = anyfs.run(main())
+    assert st.st_mode & 0o7777 == 0o600
+    assert st.is_file
+
+
+def test_truncate_sets_size(anyfs):
+    def main():
+        yield from anyfs.cli.create("/f")
+        yield from anyfs.cli.truncate("/f", 4096)
+        st = yield from anyfs.cli.stat("/f")
+        return st.st_size
+
+    assert anyfs.run(main()) == 4096
+
+
+def test_access_existing(anyfs):
+    def main():
+        yield from anyfs.cli.create("/f")
+        ok = yield from anyfs.cli.access("/f")
+        try:
+            yield from anyfs.cli.access("/ghost")
+        except FSError as e:
+            return ok, e.err
+
+    ok, err = anyfs.run(main())
+    assert ok and err == ENOENT
+
+
+def test_symlink_readlink(anyfs):
+    def main():
+        yield from anyfs.cli.create("/target")
+        yield from anyfs.cli.symlink("/target", "/link")
+        t = yield from anyfs.cli.readlink("/link")
+        return t
+
+    assert anyfs.run(main()) == "/target"
+
+
+def test_open_existing_file(anyfs):
+    def main():
+        yield from anyfs.cli.create("/f")
+        fh = yield from anyfs.cli.open("/f")
+        return fh
+
+    assert anyfs.run(main()) is not None
+
+
+def test_write_then_stat_size(anyfs):
+    def main():
+        yield from anyfs.cli.create("/f")
+        n = yield from anyfs.cli.write("/f", 0, b"x" * 1000)
+        st = yield from anyfs.cli.stat("/f")
+        return n, st.st_size
+
+    n, size = anyfs.run(main())
+    assert n == 1000
+    assert size == 1000
+
+
+def test_two_clients_see_each_others_changes(anyfs):
+    """No stale caching: client 1's create is visible to client 0."""
+    c0, c1 = anyfs.clients
+    order = []
+
+    def writer():
+        yield from c1.mkdir("/shared")
+        yield from c1.create("/shared/from1")
+        order.append("written")
+
+    def reader():
+        yield anyfs.cluster.sim.timeout(2.0)
+        st = yield from c0.stat("/shared/from1")
+        order.append(("seen", st.is_file))
+
+    anyfs.run_all(writer(), reader())
+    assert order == ["written", ("seen", True)]
+
+
+def test_deep_tree(anyfs):
+    def main():
+        path = ""
+        for d in range(6):
+            path += f"/l{d}"
+            yield from anyfs.cli.mkdir(path)
+        yield from anyfs.cli.create(path + "/leaf")
+        st = yield from anyfs.cli.stat(path + "/leaf")
+        return st.is_file
+
+    assert anyfs.run(main())

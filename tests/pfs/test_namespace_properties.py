@@ -1,0 +1,172 @@
+"""Property-based tests for the POSIX namespace engine (incl. rename)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FSError
+from repro.pfs.namespace import Namespace
+
+names = st.sampled_from(["a", "b", "c"])
+paths = st.lists(names, min_size=1, max_size=3).map(
+    lambda cs: "/" + "/".join(cs))
+
+ops = st.one_of(
+    st.tuples(st.just("mkdir"), paths),
+    st.tuples(st.just("create"), paths),
+    st.tuples(st.just("rmdir"), paths),
+    st.tuples(st.just("unlink"), paths),
+    st.tuples(st.just("rename"), paths, paths),
+)
+
+
+class Oracle:
+    """Dict model: path -> 'd' | 'f'."""
+
+    def __init__(self):
+        self.nodes = {"/": "d"}
+
+    def parent(self, p):
+        return p.rsplit("/", 1)[0] or "/"
+
+    def children(self, p):
+        prefix = p if p != "/" else ""
+        return [q for q in self.nodes
+                if q != "/" and self.parent(q) == p]
+
+    def subtree(self, p):
+        return [q for q in self.nodes if q == p or q.startswith(p + "/")]
+
+    def mkdir(self, p):
+        if p in self.nodes:
+            raise KeyError("exists")
+        if self.nodes.get(self.parent(p)) != "d":
+            raise KeyError("no dir parent")
+        self.nodes[p] = "d"
+
+    def create(self, p):
+        if p in self.nodes:
+            raise KeyError("exists")
+        if self.nodes.get(self.parent(p)) != "d":
+            raise KeyError("no dir parent")
+        self.nodes[p] = "f"
+
+    def rmdir(self, p):
+        if self.nodes.get(p) != "d" or p == "/":
+            raise KeyError("not a dir")
+        if self.children(p):
+            raise KeyError("not empty")
+        del self.nodes[p]
+
+    def unlink(self, p):
+        if self.nodes.get(p) != "f":
+            raise KeyError("not a file")
+        del self.nodes[p]
+
+    def rename(self, src, dst):
+        kind = self.nodes.get(src)
+        if kind is None or src == "/":
+            raise KeyError("missing src")
+        if self.nodes.get(self.parent(dst)) != "d":
+            raise KeyError("no dst parent")
+        if kind == "d" and (dst + "/").startswith(src + "/"):
+            raise KeyError("into own subtree")
+        existing = self.nodes.get(dst)
+        if existing is not None and dst != src:
+            if existing == "d":
+                if kind != "d":
+                    raise KeyError("file onto dir")
+                if self.children(dst):
+                    raise KeyError("dst not empty")
+                del self.nodes[dst]
+            else:
+                if kind == "d":
+                    raise KeyError("dir onto file")
+                del self.nodes[dst]
+        if src == dst:
+            return
+        for q in sorted(self.subtree(src), key=len, reverse=True):
+            self.nodes[dst + q[len(src):]] = self.nodes.pop(q)
+
+
+def listing(ns: Namespace):
+    out = []
+
+    def rec(path, inode):
+        for name in sorted(inode.entries or ()):
+            child = ns.inodes[inode.entries[name]]
+            p = f"{path}/{name}" if path != "/" else f"/{name}"
+            out.append((p, "d" if child.is_dir else "f"))
+            if child.is_dir:
+                rec(p, child)
+
+    rec("/", ns.root)
+    return sorted(out)
+
+
+@settings(max_examples=200, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(ops, max_size=30))
+def test_namespace_matches_oracle_including_rename(op_list):
+    ns = Namespace()
+    oracle = Oracle()
+    for op in op_list:
+        ns_err = oracle_err = None
+        try:
+            if op[0] == "mkdir":
+                ns.mkdir(op[1], 0o755, 1.0)
+            elif op[0] == "create":
+                ns.create(op[1], 0o644, 1.0)
+            elif op[0] == "rmdir":
+                ns.rmdir(op[1], 1.0)
+            elif op[0] == "unlink":
+                ns.unlink(op[1], 1.0)
+            else:
+                if op[1] == op[2]:
+                    # POSIX same-path rename is a no-op if src exists;
+                    # model both sides identically and continue.
+                    ns.lookup(op[1])
+                else:
+                    ns.rename(op[1], op[2], 1.0)
+        except FSError:
+            ns_err = True
+        try:
+            if op[0] == "rename":
+                if op[1] == op[2]:
+                    if op[1] not in oracle.nodes:
+                        raise KeyError("missing")
+                else:
+                    oracle.rename(op[1], op[2])
+            else:
+                getattr(oracle, op[0])(op[1])
+        except KeyError:
+            oracle_err = True
+        assert ns_err == oracle_err, (op, ns_err, oracle_err)
+    want = sorted((p, k) for p, k in oracle.nodes.items() if p != "/")
+    assert listing(ns) == want
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(ops, max_size=25))
+def test_nlink_invariant(op_list):
+    """Every directory's nlink is 2 + its subdirectory count, always."""
+    ns = Namespace()
+    for op in op_list:
+        try:
+            if op[0] == "mkdir":
+                ns.mkdir(op[1], 0o755, 1.0)
+            elif op[0] == "create":
+                ns.create(op[1], 0o644, 1.0)
+            elif op[0] == "rmdir":
+                ns.rmdir(op[1], 1.0)
+            elif op[0] == "unlink":
+                ns.unlink(op[1], 1.0)
+            elif op[1] != op[2]:
+                ns.rename(op[1], op[2], 1.0)
+        except FSError:
+            continue
+        for inode in ns.inodes.values():
+            if inode.is_dir:
+                subdirs = sum(1 for ino in inode.entries.values()
+                              if ns.inodes[ino].is_dir)
+                assert inode.nlink == 2 + subdirs

@@ -1,0 +1,155 @@
+"""Kernel edge cases: condition failures, interrupts vs resources, timing."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    Resource,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_all_of_fails_if_member_fails():
+    sim = Simulator()
+    ok = sim.timeout(5)
+    bad = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield AllOf(sim, (ok, bad))
+        except RuntimeError as e:
+            caught.append((str(e), sim.now))
+
+    def failer():
+        yield sim.timeout(2)
+        bad.fail(RuntimeError("member died"))
+
+    sim.process(waiter())
+    sim.process(failer())
+    sim.run()
+    assert caught == [("member died", 2)]
+
+
+def test_any_of_failure_propagates():
+    sim = Simulator()
+    slow = sim.timeout(100)
+    bad = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield AnyOf(sim, (slow, bad))
+        except ValueError:
+            caught.append(sim.now)
+
+    def failer():
+        yield sim.timeout(1)
+        bad.fail(ValueError())
+
+    sim.process(waiter())
+    sim.process(failer())
+    sim.run(until=10)
+    assert caught == [1]
+
+
+def test_condition_rejects_cross_simulator_events():
+    sim1, sim2 = Simulator(), Simulator()
+    with pytest.raises(SimulationError):
+        AllOf(sim1, (sim1.timeout(1), sim2.timeout(1)))
+
+
+def test_interrupt_while_holding_resource_releases_via_finally():
+    sim = Simulator()
+    res = Resource(sim, 1)
+    order = []
+
+    def holder():
+        req = res.request()
+        try:
+            yield req
+            order.append("held")
+            yield sim.timeout(100)
+        except Interrupt:
+            order.append("interrupted")
+        finally:
+            res.release(req)
+
+    def contender():
+        yield sim.timeout(2)
+        with res.request() as req:
+            yield req
+            order.append(("acquired", sim.now))
+
+    p = sim.process(holder())
+
+    def attacker():
+        yield sim.timeout(1)
+        p.interrupt()
+
+    sim.process(attacker())
+    sim.process(contender())
+    sim.run()
+    assert order == ["held", "interrupted", ("acquired", 2)]
+
+
+def test_process_is_alive_lifecycle():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(3)
+
+    p = sim.process(quick())
+    assert p.is_alive
+    sim.run()
+    assert not p.is_alive
+    assert p.ok
+
+
+def test_multiple_interrupts_queue():
+    sim = Simulator()
+    causes = []
+
+    def victim():
+        for _ in range(2):
+            try:
+                yield sim.timeout(100)
+            except Interrupt as i:
+                causes.append(i.cause)
+
+    p = sim.process(victim())
+
+    def attacker():
+        yield sim.timeout(1)
+        p.interrupt("first")
+        p.interrupt("second")
+
+    sim.process(attacker())
+    sim.run(until=50)
+    assert causes == ["first", "second"]
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    with pytest.raises(SimulationError):
+        _ = ev.ok
+
+
+def test_timeout_ordering_is_stable_for_equal_times():
+    sim = Simulator()
+    order = []
+
+    def w(tag, delay):
+        yield sim.timeout(delay)
+        order.append(tag)
+
+    for tag in "abcd":
+        sim.process(w(tag, 1.0))
+    sim.run()
+    assert order == list("abcd")

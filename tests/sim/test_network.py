@@ -1,0 +1,156 @@
+"""Unit tests for the network fabric: latency, FIFO, failures, partitions."""
+
+import pytest
+
+from repro.sim import Cluster, Simulator
+from repro.sim.network import GIGE_BANDWIDTH, GIGE_LATENCY, Network
+
+
+def make_net():
+    sim = Simulator()
+    net = Network(sim)
+    net.register("a", host="hostA")
+    net.register("b", host="hostB")
+    return sim, net
+
+
+def test_small_message_latency():
+    sim, net = make_net()
+    got = []
+
+    def receiver():
+        msg = yield net.inbox("b").get()
+        got.append((msg.payload, sim.now))
+
+    sim.process(receiver())
+    net.send("a", "b", "hello", size=0)
+    sim.run()
+    assert got == [("hello", pytest.approx(GIGE_LATENCY))]
+
+
+def test_bandwidth_term_scales_with_size():
+    sim, net = make_net()
+    size = 1_000_000
+    got = []
+
+    def receiver():
+        msg = yield net.inbox("b").get()
+        got.append(sim.now)
+
+    sim.process(receiver())
+    net.send("a", "b", "bulk", size=size)
+    sim.run()
+    assert got[0] == pytest.approx(GIGE_LATENCY + size / GIGE_BANDWIDTH)
+
+
+def test_loopback_is_cheaper_than_wire():
+    sim = Simulator()
+    net = Network(sim)
+    net.register("a", host="h1")
+    net.register("a2", host="h1")
+    assert net.delay_for("a", "a2", 128) < net.delay_for("a", "b", 128)
+
+
+def test_fifo_per_pair_even_with_size_inversion():
+    """A huge message sent first must not be overtaken by a tiny one."""
+    sim, net = make_net()
+    got = []
+
+    def receiver():
+        for _ in range(2):
+            msg = yield net.inbox("b").get()
+            got.append(msg.payload)
+
+    sim.process(receiver())
+    net.send("a", "b", "big", size=5_000_000)
+    net.send("a", "b", "small", size=1)
+    sim.run()
+    assert got == ["big", "small"]
+
+
+def test_unknown_endpoint_rejected():
+    sim, net = make_net()
+    with pytest.raises(KeyError):
+        net.send("a", "nope", "x")
+
+
+def test_down_destination_drops():
+    sim, net = make_net()
+    net.set_down("b")
+    net.send("a", "b", "x")
+    sim.run()
+    assert net.stats.dropped == 1
+    assert len(net.inbox("b")) == 0
+
+
+def test_crash_mid_flight_drops_message():
+    sim, net = make_net()
+
+    def killer():
+        yield sim.timeout(GIGE_LATENCY / 2)
+        net.set_down("b")
+
+    sim.process(killer())
+    net.send("a", "b", "x")
+    sim.run()
+    assert net.stats.dropped == 1
+
+
+def test_recovery_allows_delivery_again():
+    sim, net = make_net()
+    net.set_down("b")
+    net.send("a", "b", "lost")
+    net.set_down("b", False)
+    net.send("a", "b", "kept")
+    sim.run()
+    assert [m.payload for m in net.inbox("b").items] == ["kept"]
+
+
+def test_partition_blocks_cross_group_only():
+    sim = Simulator()
+    net = Network(sim)
+    for ep, host in [("a", "h1"), ("b", "h2"), ("c", "h3")]:
+        net.register(ep, host=host)
+    net.partition([["h1", "h2"], ["h3"]])
+    net.send("a", "b", "ok")
+    net.send("a", "c", "blocked")
+    sim.run()
+    assert [m.payload for m in net.inbox("b").items] == ["ok"]
+    assert len(net.inbox("c")) == 0
+    net.heal()
+    net.send("a", "c", "after-heal")
+    sim.run()
+    assert [m.payload for m in net.inbox("c").items] == ["after-heal"]
+
+
+def test_same_host_traffic_survives_partition():
+    sim = Simulator()
+    net = Network(sim)
+    net.register("a", host="h1")
+    net.register("a2", host="h1")
+    net.partition([["h1"], ["h2"]])
+    net.send("a", "a2", "local")
+    sim.run()
+    assert [m.payload for m in net.inbox("a2").items] == ["local"]
+
+
+def test_stats_accumulate():
+    sim, net = make_net()
+    net.send("a", "b", "x", size=100)
+    net.send("a", "b", "y", size=50)
+    sim.run()
+    assert net.stats.messages == 2
+    assert net.stats.bytes == 150
+
+
+def test_cluster_wires_everything_together():
+    cluster = Cluster(seed=7)
+    n1 = cluster.add_node("n1", cores=4)
+    assert cluster.node("n1") is n1
+    with pytest.raises(ValueError):
+        cluster.add_node("n1")
+    # named streams are deterministic per seed
+    a = Cluster(seed=7).streams.stream("x").random()
+    b = Cluster(seed=7).streams.stream("x").random()
+    c = Cluster(seed=8).streams.stream("x").random()
+    assert a == b != c

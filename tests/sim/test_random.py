@@ -1,0 +1,60 @@
+"""Named deterministic random streams."""
+
+import pytest
+
+from repro.sim import RandomStreams
+
+
+def test_same_seed_same_stream():
+    a = RandomStreams(7).stream("x").random()
+    b = RandomStreams(7).stream("x").random()
+    assert a == b
+
+
+def test_different_names_independent():
+    rs = RandomStreams(7)
+    xs = [rs.stream("a").random() for _ in range(5)]
+    # Drawing from "b" must not perturb "a"'s sequence.
+    rs2 = RandomStreams(7)
+    ys = []
+    for i in range(5):
+        rs2.stream("b").random()
+        ys.append(rs2.stream("a").random())
+    assert xs == ys
+
+
+def test_stream_cached_not_reseeded():
+    rs = RandomStreams(1)
+    s1 = rs.stream("s")
+    s2 = rs.stream("s")
+    assert s1 is s2
+    a, b = s1.random(), s2.random()
+    assert a != b  # sequential draws, not a reset
+
+
+def test_uniform_bounds():
+    rs = RandomStreams(3)
+    for _ in range(100):
+        v = rs.uniform("u", 2.0, 5.0)
+        assert 2.0 <= v <= 5.0
+
+
+def test_expovariate_positive():
+    rs = RandomStreams(3)
+    assert all(rs.expovariate("e", 100.0) > 0 for _ in range(50))
+
+
+def test_jitter_zero_cv_is_exact():
+    rs = RandomStreams(3)
+    assert rs.jitter("j", 0.01, cv=0.0) == 0.01
+
+
+def test_jitter_bounded_and_positive():
+    rs = RandomStreams(3)
+    mean = 1e-3
+    vals = [rs.jitter("j", mean, cv=0.2) for _ in range(300)]
+    assert all(v > 0 for v in vals)
+    assert min(vals) >= mean * (1 - 1.7 * 0.2) - 1e-12
+    assert max(vals) <= mean * (1 + 1.7 * 0.2) + 1e-12
+    avg = sum(vals) / len(vals)
+    assert abs(avg - mean) / mean < 0.1

@@ -1,0 +1,61 @@
+"""Measurement helpers: counters, latency summaries, op logs."""
+
+import pytest
+
+from repro.sim import Counter, LatencyRecorder, OpLog, ThroughputWindow
+
+
+def test_counter_inc_and_get():
+    c = Counter()
+    c.inc("ops")
+    c.inc("ops", 4)
+    assert c.get("ops") == 5
+    assert c.get("missing") == 0
+    assert c.as_dict() == {"ops": 5}
+
+
+def test_latency_recorder_summary():
+    r = LatencyRecorder()
+    for i in range(1, 101):
+        r.record("stat", i / 1000.0)
+    s = r.summary("stat")
+    assert s.count == 100
+    assert s.mean == pytest.approx(0.0505)
+    assert s.p50 == pytest.approx(0.050)
+    assert s.p95 == pytest.approx(0.095)
+    assert s.p99 == pytest.approx(0.099)
+    assert s.max == pytest.approx(0.100)
+
+
+def test_latency_recorder_empty_key():
+    assert LatencyRecorder().summary("none") is None
+
+
+def test_latency_recorder_keys_sorted():
+    r = LatencyRecorder()
+    r.record("b", 1.0)
+    r.record("a", 1.0)
+    assert r.keys() == ["a", "b"]
+
+
+def test_throughput_window():
+    w = ThroughputWindow(start=1.0, end=3.0, count=100)
+    assert w.throughput() == 50.0
+    assert ThroughputWindow(1.0, 1.0, 5).throughput() == 0.0
+
+
+def test_oplog_window():
+    log = OpLog()
+    for t in (1.0, 1.5, 2.0):
+        log.record("mkdir", t)
+    log.record("stat", 2.5)
+    assert log.count == 4
+    assert log.by_op == {"mkdir": 3, "stat": 1}
+    w = log.window(start=0.5)
+    assert w.count == 4
+    assert w.throughput() == pytest.approx(4 / 2.0)
+
+
+def test_oplog_empty_window():
+    w = OpLog().window(start=1.0)
+    assert w.count == 0 and w.throughput() == 0.0

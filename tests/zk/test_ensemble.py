@@ -1,0 +1,66 @@
+"""Ensemble builder/handle helpers."""
+
+import pytest
+
+from repro.sim import Cluster
+from repro.zk import ZKClient, build_ensemble
+
+
+def test_server_for_round_robin():
+    cluster = Cluster(seed=0)
+    nodes = [cluster.add_node(f"n{i}") for i in range(3)]
+    ens = build_ensemble(cluster, nodes, 3)
+    assert ens.server_for(0) == "zk0"
+    assert ens.server_for(4) == "zk1"
+
+
+def test_leader_property():
+    cluster = Cluster(seed=0)
+    nodes = [cluster.add_node(f"n{i}") for i in range(3)]
+    ens = build_ensemble(cluster, nodes, 3)
+    assert ens.leader is ens.servers[0]
+
+
+def test_servers_spread_over_nodes_round_robin():
+    cluster = Cluster(seed=0)
+    nodes = [cluster.add_node(f"n{i}") for i in range(2)]
+    ens = build_ensemble(cluster, nodes, 4)
+    assert ens.servers[0].node is nodes[0]
+    assert ens.servers[1].node is nodes[1]
+    assert ens.servers[2].node is nodes[0]
+    assert ens.servers[3].node is nodes[1]
+
+
+def test_fingerprints_and_convergence():
+    cluster = Cluster(seed=0)
+    nodes = [cluster.add_node(f"n{i}") for i in range(3)]
+    cnode = cluster.add_node("cli")
+    ens = build_ensemble(cluster, nodes, 3)
+    assert ens.converged()  # all empty
+    cli = ZKClient(cnode, ens.endpoints)
+
+    def write():
+        yield from cli.create("/q", b"v")
+
+    proc = cnode.spawn(write())
+    cluster.sim.run(until=proc)
+    cluster.sim.run(until=cluster.sim.now + 0.2)
+    fps = ens.fingerprints()
+    assert len(set(fps)) == 1
+    assert ens.converged()
+
+
+def test_boot_false_leaves_servers_looking():
+    cluster = Cluster(seed=0)
+    nodes = [cluster.add_node(f"n{i}") for i in range(3)]
+    ens = build_ensemble(cluster, nodes, 3, boot=False)
+    assert all(s.role == "looking" for s in ens.servers)
+
+
+@pytest.mark.parametrize("n,quorum",
+                         [(1, 1), (2, 2), (3, 2), (4, 3), (5, 3), (8, 5)])
+def test_quorum_sizes(n, quorum):
+    cluster = Cluster(seed=0)
+    nodes = [cluster.add_node(f"n{i}") for i in range(n)]
+    ens = build_ensemble(cluster, nodes, n)
+    assert all(s.quorum == quorum for s in ens.servers)

@@ -1,0 +1,317 @@
+"""Integration tests: ZK ensemble semantics through the client API."""
+
+import pytest
+
+from repro.zk.errors import (
+    BadVersionError,
+    NoNodeError,
+    NodeExistsError,
+    NotEmptyError,
+)
+
+
+def test_create_visible_on_all_replicas(zk3):
+    cli = zk3.client()
+
+    def main():
+        yield from cli.create("/app", b"cfg")
+
+    zk3.run(main())
+    zk3.settle(0.1)
+    for server in zk3.ensemble.servers:
+        assert server.store.get("/app")[0] == b"cfg"
+    assert zk3.ensemble.converged()
+
+
+def test_write_via_follower_is_forwarded(zk3):
+    cli = zk3.client(prefer_index=2)  # zk2 is a follower (leader = zk0)
+
+    def main():
+        yield from cli.create("/f", b"x")
+        return (yield from cli.get("/f"))
+
+    data, stat = zk3.run(main())
+    assert data == b"x"
+    assert zk3.ensemble.servers[2].stats["forwards"] == 1
+    assert zk3.ensemble.servers[0].stats["writes"] == 1
+
+
+def test_duplicate_create_raises_node_exists(zk3):
+    cli = zk3.client()
+
+    def main():
+        yield from cli.create("/dup")
+        try:
+            yield from cli.create("/dup")
+        except NodeExistsError:
+            return "exists"
+
+    assert zk3.run(main()) == "exists"
+
+
+def test_reads_served_locally_by_follower(zk3):
+    cli = zk3.client(prefer_index=1)
+
+    def main():
+        yield from cli.create("/r", b"v")
+        return (yield from cli.get("/r"))
+
+    data, _ = zk3.run(main())
+    assert data == b"v"
+    # The read hit zk1, not the leader.
+    assert zk3.ensemble.servers[1].stats["reads"] == 1
+    assert zk3.ensemble.servers[0].stats["reads"] == 0
+
+
+def test_set_data_version_conflict(zk3):
+    cli = zk3.client()
+
+    def main():
+        yield from cli.create("/v", b"0")
+        yield from cli.set_data("/v", b"1", version=0)
+        try:
+            yield from cli.set_data("/v", b"2", version=0)
+        except BadVersionError:
+            return "conflict"
+
+    assert zk3.run(main()) == "conflict"
+
+
+def test_delete_nonempty_and_missing(zk3):
+    cli = zk3.client()
+
+    def main():
+        out = []
+        yield from cli.create("/d")
+        yield from cli.create("/d/c")
+        try:
+            yield from cli.delete("/d")
+        except NotEmptyError:
+            out.append("notempty")
+        try:
+            yield from cli.delete("/ghost")
+        except NoNodeError:
+            out.append("nonode")
+        return out
+
+    assert zk3.run(main()) == ["notempty", "nonode"]
+
+
+def test_sequential_create_through_api(zk3):
+    cli = zk3.client()
+
+    def main():
+        yield from cli.create("/q")
+        p1 = yield from cli.create("/q/n-", sequential=True)
+        p2 = yield from cli.create("/q/n-", sequential=True)
+        return p1, p2
+
+    p1, p2 = zk3.run(main())
+    assert p1 == "/q/n-0000000000"
+    assert p2 == "/q/n-0000000001"
+
+
+def test_concurrent_writes_from_two_clients_converge(zk3):
+    c1 = zk3.client(prefer_index=1)
+    c2 = zk3.client(prefer_index=2)
+
+    def writer(cli, base):
+        yield from cli.create(f"/{base}")
+        for i in range(10):
+            yield from cli.create(f"/{base}/f{i}", b"d")
+
+    zk3.run_all(writer(c1, "a"), writer(c2, "b"))
+    zk3.settle(0.2)
+    assert zk3.ensemble.converged()
+    leader = zk3.ensemble.servers[0]
+    assert len(leader.store.get_children("/a")) == 10
+    assert len(leader.store.get_children("/b")) == 10
+
+
+def test_single_server_ensemble_works(zk1):
+    cli = zk1.client()
+
+    def main():
+        yield from cli.create("/solo", b"1")
+        return (yield from cli.get("/solo"))
+
+    data, _ = zk1.run(main())
+    assert data == b"1"
+
+
+def test_multi_atomic_success(zk3):
+    cli = zk3.client()
+
+    def main():
+        yield from cli.create("/m", b"")
+        results = yield from cli.multi([
+            cli.op_create("/m/a", b"1"),
+            cli.op_create("/m/b", b"2"),
+            cli.op_set("/m", b"parent"),
+        ])
+        return results
+
+    results = zk3.run(main())
+    assert results == ["/m/a", "/m/b", True]
+    zk3.settle(0.1)
+    assert zk3.ensemble.converged()
+    assert zk3.ensemble.servers[1].store.get("/m")[0] == b"parent"
+
+
+def test_multi_atomic_failure_applies_nothing(zk3):
+    cli = zk3.client()
+
+    def main():
+        yield from cli.create("/m", b"")
+        yield from cli.create("/m/conflict", b"")
+        try:
+            yield from cli.multi([
+                cli.op_create("/m/new", b""),
+                cli.op_create("/m/conflict", b""),  # fails
+            ])
+        except NodeExistsError:
+            pass
+        return (yield from cli.exists("/m/new"))
+
+    assert zk3.run(main()) is None
+
+
+def test_multi_rename_pattern(zk3):
+    """The DUFS rename: create new name + delete old name, atomically."""
+    cli = zk3.client()
+
+    def main():
+        yield from cli.create("/old", b"fid-123")
+        yield from cli.multi([
+            cli.op_create("/new", b"fid-123"),
+            cli.op_delete("/old"),
+        ])
+        old = yield from cli.exists("/old")
+        new_data, _ = yield from cli.get("/new")
+        return old, new_data
+
+    old, new_data = zk3.run(main())
+    assert old is None
+    assert new_data == b"fid-123"
+
+
+def test_multi_delete_then_recreate_same_path(zk3):
+    cli = zk3.client()
+
+    def main():
+        yield from cli.create("/x", b"old")
+        yield from cli.multi([
+            cli.op_delete("/x"),
+            cli.op_create("/x", b"new"),
+        ])
+        return (yield from cli.get("/x"))
+
+    data, stat = zk3.run(main())
+    assert data == b"new"
+    assert stat.version == 0  # brand-new node
+
+
+def test_multi_check_guard(zk3):
+    cli = zk3.client()
+
+    def main():
+        yield from cli.create("/g", b"v0")
+        yield from cli.set_data("/g", b"v1")  # version now 1
+        try:
+            yield from cli.multi([
+                cli.op_check("/g", version=0),
+                cli.op_set("/g", b"v2"),
+            ])
+        except BadVersionError:
+            return (yield from cli.get("/g"))
+
+    data, _ = zk3.run(main())
+    assert data == b"v1"
+
+
+def test_ephemeral_cleanup_on_session_close(zk3):
+    cli = zk3.client()
+
+    def main():
+        yield from cli.connect()
+        yield from cli.create("/perm", b"")
+        yield from cli.create("/eph", b"", ephemeral=True)
+        yield from cli.close()
+        return (yield from cli.exists("/eph")), (yield from cli.exists("/perm"))
+
+    eph, perm = zk3.run(main())
+    assert eph is None
+    assert perm is not None
+
+
+def test_ephemeral_cannot_have_children(zk3):
+    from repro.zk.errors import NoChildrenForEphemeralsError
+    cli = zk3.client()
+
+    def main():
+        yield from cli.connect()
+        yield from cli.create("/e", ephemeral=True)
+        try:
+            yield from cli.create("/e/child")
+        except NoChildrenForEphemeralsError:
+            return "rejected"
+
+    assert zk3.run(main()) == "rejected"
+
+
+def test_stat_fields_flow_to_client(zk3):
+    cli = zk3.client()
+
+    def main():
+        yield from cli.create("/s", b"abc")
+        return (yield from cli.exists("/s"))
+
+    stat = zk3.run(main())
+    assert stat.data_length == 3
+    assert stat.version == 0
+    assert stat.czxid > 0
+    assert stat.ctime > 0
+
+
+def test_totally_ordered_commits_identical_on_all_replicas(zk3):
+    """The Fig. 1 consistency scenario: concurrent conflicting namespace
+    operations must be applied in the same order everywhere."""
+    c1 = zk3.client(prefer_index=1)
+    c2 = zk3.client(prefer_index=2)
+
+    def maker():
+        for i in range(20):
+            try:
+                yield from c1.create("/d1", bytes([i]))
+            except NodeExistsError:
+                pass
+
+    def renamer():
+        for i in range(20):
+            try:
+                yield from c2.multi([
+                    c2.op_create("/d2", b""),
+                    c2.op_delete("/d1"),
+                ])
+                yield from c2.delete("/d2")
+            except (NoNodeError, NodeExistsError):
+                pass
+
+    zk3.run_all(maker(), renamer())
+    zk3.settle(0.5)
+    assert zk3.ensemble.converged()
+
+
+def test_throughput_counters(zk3):
+    cli = zk3.client()
+
+    def main():
+        for i in range(5):
+            yield from cli.create(f"/n{i}")
+        for i in range(5):
+            yield from cli.get(f"/n{i}")
+
+    zk3.run(main())
+    leader = zk3.ensemble.servers[0]
+    assert leader.stats["writes"] == 5
+    assert leader.stats["proposals"] == 5

@@ -1,0 +1,99 @@
+"""zoo_sync semantics and session liveness / ephemeral expiry."""
+
+import pytest
+
+from repro.models.params import ZKParams
+
+from .conftest import ZKHarness
+
+
+def test_sync_returns_commit_index(zk3):
+    cli = zk3.client(prefer_index=1)
+
+    def main():
+        yield from cli.create("/s1")
+        yield from cli.create("/s2")
+        idx = yield from cli.sync()
+        return idx
+
+    idx = zk3.run(main())
+    assert idx >= 2
+
+
+def test_sync_gives_read_your_writes_across_servers(zk3):
+    """Write via server 1, sync server 2, then read from server 2 — the
+    write must be visible (the guarantee plain reads don't carry)."""
+    writer = zk3.client(prefer_index=1)
+    reader = zk3.client(prefer_index=2)
+
+    def main():
+        yield from writer.create("/ryw", b"v")
+        yield from reader.sync()
+        data, _ = yield from reader.get("/ryw")
+        return data
+
+    assert zk3.run(main()) == b"v"
+
+
+def test_sync_on_leader_is_trivial(zk3):
+    cli = zk3.client(prefer_index=0)  # the static leader
+
+    def main():
+        yield from cli.create("/x")
+        return (yield from cli.sync())
+
+    assert zk3.run(main()) >= 1
+
+
+def test_session_expiry_deletes_ephemerals():
+    params = ZKParams(session_tracking=True, session_timeout=0.5)
+    h = ZKHarness(n_servers=3, params=params)
+    cli = h.client()
+
+    def main():
+        yield from cli.connect()
+        yield from cli.create("/eph", b"", ephemeral=True)
+        yield from cli.create("/perm", b"")
+
+    h.run(main())
+    # No keepalive running -> the session times out and /eph vanishes.
+    h.settle(2.0)
+    store = h.ensemble.servers[0].store
+    assert store.exists("/eph") is None
+    assert store.exists("/perm") is not None
+
+
+def test_keepalive_preserves_session():
+    params = ZKParams(session_tracking=True, session_timeout=0.5)
+    h = ZKHarness(n_servers=3, params=params)
+    cli = h.client()
+
+    def main():
+        yield from cli.connect()
+        yield from cli.create("/eph", b"", ephemeral=True)
+
+    h.run(main())
+    h.client_nodes[0].spawn(cli.keepalive(interval=0.1))
+    h.settle(2.0)
+    assert h.ensemble.servers[0].store.exists("/eph") is not None
+
+
+def test_client_node_crash_expires_session_eventually():
+    """The ephemeral-cleanup story end to end: the client machine dies,
+    its heartbeats stop, the server reclaims the ephemerals."""
+    params = ZKParams(session_tracking=True, session_timeout=0.5)
+    h = ZKHarness(n_servers=3, params=params, extra_client_nodes=2)
+    cli = h.client(node=h.client_nodes[1])
+
+    def main():
+        yield from cli.connect()
+        yield from cli.create("/lock", b"holder=1", ephemeral=True)
+
+    proc = h.client_nodes[1].spawn(main())
+    h.cluster.sim.run(until=proc)
+    h.client_nodes[1].spawn(cli.keepalive(interval=0.1))
+    h.settle(1.0)
+    assert h.ensemble.servers[0].store.exists("/lock") is not None
+    h.client_nodes[1].crash()  # heartbeats die with the node
+    h.settle(2.0)
+    assert h.ensemble.servers[0].store.exists("/lock") is None

@@ -1,0 +1,110 @@
+"""Watch semantics: one-shot notifications on data/child/existence changes."""
+
+
+def test_data_watch_fires_on_set(zk3):
+    cli = zk3.client()
+    events = []
+
+    def main():
+        yield from cli.create("/w", b"0")
+        yield from cli.get("/w", watch=events.append)
+        yield from cli.set_data("/w", b"1")
+        yield zk3.cluster.sim.timeout(0.05)
+
+    zk3.run(main())
+    assert [(e.kind, e.path) for e in events] == [("changed", "/w")]
+
+
+def test_data_watch_fires_on_delete(zk3):
+    cli = zk3.client()
+    events = []
+
+    def main():
+        yield from cli.create("/w", b"0")
+        yield from cli.get("/w", watch=events.append)
+        yield from cli.delete("/w")
+        yield zk3.cluster.sim.timeout(0.05)
+
+    zk3.run(main())
+    assert [(e.kind, e.path) for e in events] == [("deleted", "/w")]
+
+
+def test_watch_is_one_shot(zk3):
+    cli = zk3.client()
+    events = []
+
+    def main():
+        yield from cli.create("/w", b"0")
+        yield from cli.get("/w", watch=events.append)
+        yield from cli.set_data("/w", b"1")
+        yield from cli.set_data("/w", b"2")  # no watch registered anymore
+        yield zk3.cluster.sim.timeout(0.05)
+
+    zk3.run(main())
+    assert len(events) == 1
+
+
+def test_exists_watch_fires_on_create(zk3):
+    cli = zk3.client()
+    events = []
+
+    def main():
+        st = yield from cli.exists("/future", watch=events.append)
+        assert st is None
+        yield from cli.create("/future")
+        yield zk3.cluster.sim.timeout(0.05)
+
+    zk3.run(main())
+    assert [(e.kind, e.path) for e in events] == [("created", "/future")]
+
+
+def test_child_watch_fires_on_child_create_and_delete(zk3):
+    cli = zk3.client()
+    events = []
+
+    def main():
+        yield from cli.create("/p")
+        yield from cli.get_children("/p", watch=events.append)
+        yield from cli.create("/p/c")
+        yield zk3.cluster.sim.timeout(0.05)
+        yield from cli.get_children("/p", watch=events.append)
+        yield from cli.delete("/p/c")
+        yield zk3.cluster.sim.timeout(0.05)
+
+    zk3.run(main())
+    assert [(e.kind, e.path) for e in events] == [("child", "/p"), ("child", "/p")]
+
+
+def test_watch_fires_for_writes_from_other_client(zk3):
+    watcher = zk3.client(prefer_index=1)
+    writer = zk3.client(prefer_index=2)
+    events = []
+
+    def w():
+        yield from watcher.create("/shared", b"")
+        yield from watcher.get("/shared", watch=events.append)
+        yield zk3.cluster.sim.timeout(0.5)
+
+    def m():
+        yield zk3.cluster.sim.timeout(0.1)
+        yield from writer.set_data("/shared", b"remote")
+
+    zk3.run_all(w(), m())
+    assert [(e.kind, e.path) for e in events] == [("changed", "/shared")]
+
+
+def test_watch_on_read_error_not_registered(zk3):
+    from repro.zk.errors import NoNodeError
+    cli = zk3.client()
+    events = []
+
+    def main():
+        try:
+            yield from cli.get("/missing", watch=events.append)
+        except NoNodeError:
+            pass
+        yield from cli.create("/missing")
+        yield zk3.cluster.sim.timeout(0.05)
+
+    zk3.run(main())
+    assert events == []  # get() on a missing node registers nothing
