@@ -5,12 +5,13 @@ The paper's §IV-I argues the decentralized layer improves reliability: a
 ZooKeeper ensemble keeps serving while a majority is alive, whereas a
 Lustre MDS failure stalls *all* metadata until the standby takes over.
 This experiment measures both service gaps directly: a client issues one
-metadata op every 10 ms while the metadata service fails and recovers, and
-we report how long the op stream stalled.
+metadata op every 10 ms while a declarative :class:`ChaosSchedule` injects
+the failure, and we report how long the op stream stalled.
 
 Run:  python examples/availability_comparison.py
 """
 
+from repro.chaos import ChaosEngine, ChaosSchedule
 from repro.core import build_dufs_deployment
 from repro.errors import FSError
 from repro.models.params import LustreParams, SimParams, ZKParams
@@ -23,6 +24,17 @@ def measure_gaps(sim, completions):
     return max(gaps) if gaps else 0.0
 
 
+def op_stream(cluster, client, completions):
+    yield from client.mkdir("/d")
+    for i in range(600):
+        try:
+            yield from client.create(f"/d/f{i}")
+            completions.append(cluster.sim.now)
+        except FSError:
+            pass
+        yield cluster.sim.timeout(0.01)
+
+
 def lustre_failover_gap():
     params = LustreParams(client_rpc_timeout=0.5, failover_takeover_delay=2.0)
     cluster = Cluster(seed=1)
@@ -31,24 +43,16 @@ def lustre_failover_gap():
     cli = fs.client(node)
     completions = []
 
-    def workload():
-        yield from cli.mkdir("/d")
-        for i in range(600):
-            try:
-                yield from cli.create(f"/d/f{i}")
-                completions.append(cluster.sim.now)
-            except FSError:
-                pass
-            yield cluster.sim.timeout(0.01)
+    schedule = ChaosSchedule().failover(1.5, "fs")
 
-    def chaos():
-        yield cluster.sim.timeout(1.5)
+    def on_event(spec, resolved):
         print("   [chaos] primary MDS crashes; standby takes over "
               f"after {params.failover_takeover_delay}s")
-        fs.failover()
 
-    node.spawn(workload())
-    node.spawn(chaos())
+    engine = ChaosEngine(cluster, schedule, resolve=lambda s: fs,
+                         on_event=on_event)
+    engine.start()
+    node.spawn(op_stream(cluster, cli, completions))
     cluster.sim.run(until=10.0)
     return measure_gaps(cluster.sim, completions), len(completions)
 
@@ -65,25 +69,21 @@ def dufs_zk_failover_gap():
     mount = dep.mounts[0]
     completions = []
 
-    def workload():
-        yield from mount.mkdir("/d")
-        for i in range(600):
-            try:
-                yield from mount.create(f"/d/f{i}")
-                completions.append(dep.cluster.sim.now)
-            except FSError:
-                pass
-            yield dep.cluster.sim.timeout(0.01)
+    schedule = ChaosSchedule().crash(1.5, "zk:leader")
 
-    def chaos():
-        yield dep.cluster.sim.timeout(1.5)
+    def resolve(symbol):
+        leader = next(s for s in dep.ensemble.servers if s.role == "leading")
+        return leader.node
+
+    def on_event(spec, resolved):
         leader = next(s for s in dep.ensemble.servers if s.role == "leading")
         print(f"   [chaos] ZooKeeper LEADER zk{leader.sid} crashes; "
               "the ensemble re-elects")
-        leader.node.crash()
 
-    dep.client_nodes[0].spawn(workload())
-    dep.client_nodes[0].spawn(chaos())
+    engine = ChaosEngine(dep.cluster, schedule, resolve=resolve,
+                         on_event=on_event)
+    engine.start()
+    dep.client_nodes[0].spawn(op_stream(dep.cluster, mount, completions))
     dep.cluster.sim.run(until=11.0)
     return measure_gaps(dep.cluster.sim, completions), len(completions)
 

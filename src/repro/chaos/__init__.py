@@ -1,0 +1,29 @@
+"""Chaos-injection subsystem: declarative fault schedules, an engine that
+replays them against any simulated deployment, and a post-fault namespace
+auditor.
+
+The paper's reliability argument (§IV-I) is qualitative; this package makes
+it testable. A :class:`ChaosSchedule` lists timed :class:`FaultSpec` events
+(crashes, partitions, degraded/lossy links, slow disks, dead back-ends);
+:class:`ChaosEngine` replays them on a live cluster; :func:`audit_dufs`
+fsck-checks the surviving DUFS namespace against the back-end physical
+files; :func:`run_chaos` packages the whole loop for DUFS, Lustre and PVFS
+deployments so their degradation behaviour is directly comparable.
+"""
+
+from .audit import AuditReport, Violation, audit_dufs
+from .engine import ChaosEngine
+from .runner import ChaosRunResult, run_chaos
+from .schedule import ChaosSchedule, FaultSpec, RandomChaos
+
+__all__ = [
+    "AuditReport",
+    "ChaosEngine",
+    "ChaosRunResult",
+    "ChaosSchedule",
+    "FaultSpec",
+    "RandomChaos",
+    "Violation",
+    "audit_dufs",
+    "run_chaos",
+]

@@ -1,0 +1,213 @@
+"""Post-fault namespace auditor (fsck for DUFS).
+
+After a chaos run, the ZooKeeper znode tree *is* the namespace and the
+back-end filesystems hold the file contents; faults can tear the two
+apart. The auditor cross-checks them directly on the in-memory state (no
+simulated I/O — it is an offline oracle, like running fsck on an unmounted
+disk):
+
+- ``dangling-mapping`` — a file znode whose FID has no physical file on
+  the back-end it maps to (the *dangerous* kind: open() will fail).
+- ``orphan-fid`` — a physical file no znode references (leaked space; the
+  benign direction, which is why the client's rollback logic prefers it).
+- ``duplicate-fid`` — two znodes claiming the same FID.
+- ``bad-payload`` — a znode whose data field does not decode.
+- ``tree-invariant`` — a child hanging off a non-directory znode.
+
+The report is machine-readable (:meth:`AuditReport.to_dict`) and
+deterministic: violations are sorted, so two runs with the same seed and
+schedule produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.mapping import physical_path
+from ..core.metadata import DirPayload, FilePayload, SymlinkPayload, \
+    decode_payload
+from ..zk.data import ZnodeStore
+
+
+@dataclass(frozen=True)
+class Violation:
+    kind: str
+    path: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        s = f"{self.kind}: {self.path}"
+        return f"{s} ({self.detail})" if self.detail else s
+
+
+@dataclass
+class AuditReport:
+    checked_znodes: int = 0
+    checked_files: int = 0
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def count(self, kind: str) -> int:
+        return sum(1 for v in self.violations if v.kind == kind)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "checked_znodes": self.checked_znodes,
+            "checked_files": self.checked_files,
+            "violations": [
+                {"kind": v.kind, "path": v.path, "detail": v.detail}
+                for v in sorted(self.violations,
+                                key=lambda v: (v.kind, v.path, v.detail))
+            ],
+        }
+
+    def to_text(self) -> str:
+        lines = [f"audit: {self.checked_znodes} znodes, "
+                 f"{self.checked_files} physical files -> "
+                 f"{'CLEAN' if self.ok else f'{len(self.violations)} violations'}"]
+        for v in sorted(self.violations,
+                        key=lambda v: (v.kind, v.path, v.detail)):
+            lines.append(f"  {v}")
+        return "\n".join(lines)
+
+
+# -- back-end enumeration ---------------------------------------------------
+def _namespace_files(ns) -> Set[str]:
+    """All regular-file paths of a :class:`~repro.pfs.namespace.Namespace`."""
+    out: Set[str] = set()
+
+    def rec(prefix: str, inode) -> None:
+        for name, ino in inode.entries.items():
+            child = ns.inodes[ino]
+            path = f"{prefix}/{name}" if prefix != "/" else f"/{name}"
+            if child.is_dir:
+                rec(path, child)
+            elif child.symlink_target is None:
+                out.add(path)
+
+    rec("/", ns.root)
+    return out
+
+
+def _pvfs_files(fs) -> Set[str]:
+    """All metafile paths of a PVFS instance, walked from the root dir."""
+    from ..pfs.pvfs.server import DIR_T, META_T
+
+    out: Set[str] = set()
+
+    def obj_of(handle: int):
+        return fs.servers[handle >> 48].objects.get(handle)
+
+    def rec(prefix: str, handle: int) -> None:
+        obj = obj_of(handle)
+        if obj is None or obj.kind != DIR_T:
+            return
+        for name, child_h in obj.entries.items():
+            child = obj_of(child_h)
+            path = f"{prefix}/{name}" if prefix != "/" else f"/{name}"
+            if child is None:
+                continue
+            if child.kind == DIR_T:
+                rec(path, child_h)
+            elif child.kind == META_T and child.target is None:
+                out.add(path)
+
+    rec("/", fs.root_handle)
+    return out
+
+
+def physical_files(backend_fs) -> Set[str]:
+    """Enumerate a back-end's regular files, whatever its type."""
+    ns = getattr(backend_fs, "ns", None)               # LocalFS
+    if ns is None:
+        mds = getattr(backend_fs, "mds", None)          # LustreFS
+        if mds is not None:
+            ns = mds.ns
+    if ns is not None:
+        return _namespace_files(ns)
+    if hasattr(backend_fs, "root_handle"):              # PVFSFS
+        return _pvfs_files(backend_fs)
+    raise TypeError(f"cannot enumerate files of {backend_fs!r}")
+
+
+# -- the audit --------------------------------------------------------------
+def freshest_store(ensemble) -> ZnodeStore:
+    """The authoritative replica: highest commit index, preferring live
+    nodes (a crashed minority may hold a stale tree — that is expected,
+    not a violation)."""
+    servers = [s for s in ensemble.servers if not s.node.down] \
+        or list(ensemble.servers)
+    return max(servers, key=lambda s: s.commit_index).store
+
+
+def audit_dufs(deployment, store: Optional[ZnodeStore] = None) -> AuditReport:
+    """Cross-check a DUFS deployment's ZK namespace against its back-ends.
+
+    ``deployment`` is a :class:`~repro.core.fs.DUFSDeployment`; ``store``
+    overrides the znode tree to audit (default: the freshest replica).
+    """
+    report = AuditReport()
+    store = store or freshest_store(deployment.ensemble)
+    client = deployment.clients[0]
+    mapping, layout = client.mapping, client.layout
+
+    # Pass 1: walk the znode tree, decode payloads, compute the expected
+    # physical file set, and check structural invariants.
+    expected: Dict[Tuple[int, str], str] = {}   # (backend, ppath) -> vpath
+    fids: Dict[int, str] = {}
+    for path in store.walk_paths():
+        if path == "/":
+            continue
+        report.checked_znodes += 1
+        data, _stat = store.get(path)
+        parent = path.rsplit("/", 1)[0] or "/"
+        if parent != "/":
+            pdata, _ = store.get(parent)
+            try:
+                ppayload = decode_payload(pdata)
+            except ValueError:
+                ppayload = None
+            if not isinstance(ppayload, DirPayload):
+                report.violations.append(Violation(
+                    "tree-invariant", path,
+                    f"parent {parent} is not a directory znode"))
+        try:
+            payload = decode_payload(data)
+        except ValueError as exc:
+            report.violations.append(Violation("bad-payload", path, str(exc)))
+            continue
+        if isinstance(payload, (DirPayload, SymlinkPayload)):
+            continue
+        assert isinstance(payload, FilePayload)
+        fid = payload.fid
+        if fid in fids:
+            report.violations.append(Violation(
+                "duplicate-fid", path,
+                f"fid {fid:#x} also referenced by {fids[fid]}"))
+        else:
+            fids[fid] = path
+        backend = mapping.backend_for(fid)
+        expected[(backend, physical_path(fid, layout))] = path
+
+    # Pass 2: enumerate back-end files and diff both directions.
+    actual: Set[Tuple[int, str]] = set()
+    for i, backend_fs in enumerate(deployment.backends):
+        for ppath in physical_files(backend_fs):
+            actual.add((i, ppath))
+    report.checked_files = len(actual)
+
+    for key in sorted(expected.keys() - actual):
+        backend, ppath = key
+        report.violations.append(Violation(
+            "dangling-mapping", expected[key],
+            f"no physical file {ppath} on back-end {backend}"))
+    for backend, ppath in sorted(actual - expected.keys()):
+        report.violations.append(Violation(
+            "orphan-fid", ppath,
+            f"back-end {backend} file not referenced by any znode"))
+    return report

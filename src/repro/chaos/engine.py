@@ -1,0 +1,127 @@
+"""Schedule replay: drive a :class:`ChaosSchedule` against a live cluster.
+
+The engine runs as a plain *simulation* process (``sim.process``, not
+``node.spawn``), so it survives the very crashes it injects. Symbolic
+targets are turned into concrete objects by a per-deployment ``resolve``
+callable; the engine itself only knows how to poke the generic APIs
+(``Node.crash``/``recover``, ``Network.partition``/``degrade_link``,
+``disk_factor``, a filesystem's ``failover()``) plus two optional hooks
+for deployment-specific faults (DUFS back-end down/up).
+
+Every dispatched event is appended to :attr:`ChaosEngine.trace` as a fixed
+-format line — the determinism regression compares these byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..sim.node import Cluster, Node
+from .schedule import ChaosSchedule, FaultSpec
+
+
+class ChaosEngine:
+    """Replays a schedule; one instance per run.
+
+    ``resolve(symbol)`` maps a symbolic target to a :class:`Node` (node
+    events), a host name (link/partition events), an object with a
+    ``failover()`` method, or an ``int`` back-end index. The default
+    resolver looks names up in ``cluster.nodes``. ``on_event(spec,
+    resolved)`` fires just before each dispatch (progress prints);
+    ``apply_backend(index, down)`` implements ``backend_down``/``up``.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        schedule: ChaosSchedule,
+        resolve: Optional[Callable[[str], object]] = None,
+        on_event: Optional[Callable[[FaultSpec, tuple], None]] = None,
+        apply_backend: Optional[Callable[[int, bool], None]] = None,
+    ):
+        self.cluster = cluster
+        self.schedule = schedule
+        self.resolve = resolve or self._default_resolve
+        self.on_event = on_event
+        self.apply_backend = apply_backend
+        self.trace: List[str] = []
+        self.t0: Optional[float] = None
+        self.proc = None
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self):
+        """Launch the replay process; returns the simulation Process."""
+        self.proc = self.cluster.sim.process(self._run(), "chaos-engine")
+        return self.proc
+
+    def _run(self):
+        sim = self.cluster.sim
+        self.t0 = sim.now
+        for spec in self.schedule.events():
+            due = self.t0 + spec.at
+            if due > sim.now:
+                yield sim.timeout(due - sim.now)
+            self._dispatch(spec)
+
+    # -- resolution ------------------------------------------------------
+    def _default_resolve(self, symbol: str) -> object:
+        return self.cluster.nodes[symbol]
+
+    def _node(self, symbol: str) -> Node:
+        obj = self.resolve(symbol)
+        if not isinstance(obj, Node):
+            raise TypeError(f"{symbol!r} resolved to {obj!r}, need a Node")
+        return obj
+
+    def _host(self, symbol: str) -> str:
+        if symbol == "*":
+            return "*"
+        obj = self.resolve(symbol)
+        return obj.name if isinstance(obj, Node) else str(obj)
+
+    # -- dispatch --------------------------------------------------------
+    def _dispatch(self, spec: FaultSpec) -> None:
+        resolved = tuple(self.resolve(t) if t != "*" else "*"
+                         for t in spec.target)
+        if self.on_event is not None:
+            self.on_event(spec, resolved)
+        net = self.cluster.network
+        kind = spec.kind
+        if kind == "crash":
+            self._node(spec.target[0]).crash()
+        elif kind == "recover":
+            self._node(spec.target[0]).recover()
+        elif kind == "slow_disk":
+            self._node(spec.target[0]).disk_factor = spec.factor
+        elif kind == "restore_disk":
+            self._node(spec.target[0]).disk_factor = 1.0
+        elif kind == "partition":
+            net.partition([[self._host(m) for m in group]
+                           for group in spec.groups])
+        elif kind == "heal":
+            net.heal()
+        elif kind == "degrade_link":
+            net.degrade_link(self._host(spec.target[0]),
+                             self._host(spec.target[1]),
+                             latency_factor=spec.factor,
+                             bandwidth_factor=spec.bandwidth)
+        elif kind == "drop":
+            net.degrade_link(self._host(spec.target[0]),
+                             self._host(spec.target[1]),
+                             loss=spec.probability,
+                             duplicate=spec.duplicate)
+        elif kind == "restore_link":
+            net.restore_link(self._host(spec.target[0]),
+                             self._host(spec.target[1]))
+        elif kind == "backend_down" or kind == "backend_up":
+            if self.apply_backend is None:
+                raise RuntimeError(f"{kind} needs an apply_backend hook")
+            self.apply_backend(int(spec.target[0]), kind == "backend_down")
+        elif kind == "failover":
+            fs = self.resolve(spec.target[0])
+            fs.failover()
+        else:  # pragma: no cover - ChaosSchedule validates kinds
+            raise ValueError(f"unknown fault kind {kind!r}")
+        self.trace.append(
+            f"{self.cluster.sim.now - self.t0:.6f} {kind} "
+            f"{','.join(spec.target)}")

@@ -1,0 +1,237 @@
+"""End-to-end chaos runs against the three metadata services.
+
+``run_chaos`` builds a deployment (DUFS over ZooKeeper, single-MDS Lustre
+with a standby, or PVFS), drives a steady metadata op stream through it
+while a :class:`~repro.chaos.schedule.ChaosSchedule` replays, and reports
+how the service degraded: ops completed/failed, the longest stall in the
+op stream (the paper's availability metric), the chaos event trace, and —
+for DUFS — the post-fault namespace audit.
+
+The symbolic target vocabulary is shared across deployments so one
+schedule can be compared apples-to-apples:
+
+- ``meta:<i>`` — the i-th metadata server node (ZK server / the MDS / the
+  i-th PVFS server)
+- ``zk:<i>`` / ``zk:leader`` — a specific ZooKeeper server (DUFS only)
+- ``client:<i>`` — the i-th client node
+- ``backend:<i>`` — DUFS back-end index (degraded mode)
+- ``fs`` — the filesystem object itself (``failover`` events)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..errors import FSError
+from ..models.params import LustreParams, PVFSParams, SimParams, ZKParams
+from ..sim.node import Cluster, Node
+from .audit import AuditReport, audit_dufs
+from .engine import ChaosEngine
+from .schedule import ChaosSchedule, FaultSpec, RandomChaos
+
+DEPLOYMENTS = ("dufs", "lustre", "pvfs")
+
+
+@dataclass
+class ChaosRunResult:
+    deployment: str
+    completed: int
+    failed: int
+    max_stall: float
+    elapsed: float
+    issued: int = 0
+    trace: List[str] = field(default_factory=list)
+    audit: Optional[AuditReport] = None
+
+    def summary(self) -> str:
+        in_flight = self.issued - self.completed - self.failed
+        counts = f"  ops completed: {self.completed}   failed: {self.failed}"
+        if in_flight > 0:
+            # The run window closed before the stream drained: the audit
+            # legitimately sees the in-flight op's physical residue.
+            counts += (f"   (window closed with {in_flight} op in flight,"
+                       f" {self.issued} issued)")
+        lines = [
+            f"chaos run: {self.deployment} "
+            f"({len(self.trace)} fault events over {self.elapsed:.1f}s)",
+            counts,
+            f"  longest metadata stall: {self.max_stall * 1000:,.0f} ms",
+        ]
+        for line in self.trace:
+            lines.append(f"  [chaos] {line}")
+        if self.audit is not None:
+            lines.append("  " + self.audit.to_text().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+
+def max_gap(completions: List[float]) -> float:
+    gaps = [b - a for a, b in zip(completions, completions[1:])]
+    return max(gaps) if gaps else 0.0
+
+
+def default_schedule(deployment: str, duration: float,
+                     seed: int = 0) -> ChaosSchedule:
+    """A representative schedule per deployment: DUFS gets random minority
+    ZK crashes, Lustre an MDS failover, PVFS one metadata-server outage."""
+    if deployment == "dufs":
+        targets = [f"zk:{i}" for i in range(5)]
+        return RandomChaos(targets, duration, seed=seed, rate=0.6,
+                           mean_downtime=0.8).schedule()
+    if deployment == "lustre":
+        return ChaosSchedule().failover(duration * 0.3, "fs")
+    if deployment == "pvfs":
+        sched = ChaosSchedule()
+        sched.crash(duration * 0.3, "meta:1")
+        sched.recover(duration * 0.6, "meta:1")
+        return sched
+    raise ValueError(f"unknown deployment {deployment!r}")
+
+
+# -- deployment adapters ----------------------------------------------------
+def _build_dufs(seed: int):
+    from ..core import build_dufs_deployment
+
+    params = SimParams()
+    params.zk = ZKParams(failure_detection=True, session_tracking=True,
+                         ping_interval=0.1, ping_timeout=0.3,
+                         election_tick=0.05)
+    dep = build_dufs_deployment(n_zk=5, n_backends=2, n_client_nodes=2,
+                                backend="local", params=params,
+                                co_locate_zk=False, seed=seed,
+                                zk_request_timeout=0.4, zk_max_retries=10)
+
+    def resolve(symbol: str):
+        kind, _, arg = symbol.partition(":")
+        if kind == "zk" and arg == "leader":
+            leader = dep.ensemble.leader
+            if leader is None:
+                raise RuntimeError("no ZooKeeper leader to crash")
+            return leader.node
+        if kind in ("zk", "meta"):
+            return dep.ensemble.servers[int(arg)].node
+        if kind == "client":
+            return dep.client_nodes[int(arg)]
+        if kind == "backend":
+            return int(arg)
+        return dep.cluster.nodes[symbol]
+
+    def apply_backend(index: int, down: bool) -> None:
+        for cli in dep.clients:
+            if down:
+                cli.mark_backend_down(index)
+            else:
+                cli.mark_backend_up(index)
+
+    client = dep.mounts[0]
+    return dep.cluster, dep, client, dep.client_nodes[0], resolve, \
+        apply_backend
+
+
+def _build_lustre(seed: int):
+    from ..pfs.lustre import build_lustre
+
+    params = LustreParams(client_rpc_timeout=0.5,
+                          failover_takeover_delay=2.0)
+    cluster = Cluster(seed=seed)
+    node = cluster.add_node("client")
+    fs = build_lustre(cluster, "ha", params=params, with_standby=True)
+
+    def resolve(symbol: str):
+        kind, _, arg = symbol.partition(":")
+        if kind == "meta" or symbol == "mds":
+            return fs.mds.node
+        if symbol == "fs":
+            return fs
+        if kind == "client":
+            return node
+        return cluster.nodes[symbol]
+
+    return cluster, fs, fs.client(node), node, resolve, None
+
+
+def _build_pvfs(seed: int):
+    from ..pfs.pvfs import build_pvfs
+
+    params = PVFSParams(client_rpc_timeout=0.5)
+    cluster = Cluster(seed=seed)
+    node = cluster.add_node("client")
+    fs = build_pvfs(cluster, "pv", n_servers=4, params=params)
+
+    def resolve(symbol: str):
+        kind, _, arg = symbol.partition(":")
+        if kind == "meta":
+            return fs.servers[int(arg) % len(fs.servers)].node
+        if kind == "client":
+            return node
+        return cluster.nodes[symbol]
+
+    return cluster, fs, fs.client(node), node, resolve, None
+
+
+_BUILDERS = {"dufs": _build_dufs, "lustre": _build_lustre,
+             "pvfs": _build_pvfs}
+
+
+def run_chaos(
+    deployment: str = "dufs",
+    schedule: Optional[ChaosSchedule] = None,
+    seed: int = 0,
+    ops: int = 400,
+    op_interval: float = 0.01,
+    settle: float = 1.0,
+    tail: float = 3.0,
+    audit: bool = True,
+    on_event: Optional[Callable[[FaultSpec, tuple], None]] = None,
+) -> ChaosRunResult:
+    """One chaos experiment: op stream + schedule replay + (DUFS) audit.
+
+    The op stream issues one ``create`` every ``op_interval`` seconds and
+    tolerates failures (each is counted, never fatal) — exactly the
+    availability measurement of the paper's reliability discussion. The
+    schedule starts when the op stream does, after ``settle`` seconds of
+    warm-up.
+    """
+    if deployment not in DEPLOYMENTS:
+        raise ValueError(f"unknown deployment {deployment!r}")
+    cluster, dep, client, node, resolve, apply_backend = \
+        _BUILDERS[deployment](seed)
+    duration = ops * op_interval
+    if schedule is None:
+        schedule = default_schedule(deployment, duration, seed=seed)
+
+    completions: List[float] = []
+    failures: List[float] = []
+    issued = [0]
+
+    def workload():
+        yield from client.mkdir("/d")
+        for i in range(ops):
+            issued[0] += 1
+            try:
+                yield from client.create(f"/d/f{i}")
+                completions.append(cluster.sim.now)
+            except FSError:
+                failures.append(cluster.sim.now)
+            yield cluster.sim.timeout(op_interval)
+
+    cluster.sim.run(until=settle)
+    engine = ChaosEngine(cluster, schedule, resolve=resolve,
+                         on_event=on_event, apply_backend=apply_backend)
+    engine.start()
+    node.spawn(workload())
+    cluster.sim.run(until=settle + duration + tail)
+
+    report = None
+    if audit and deployment == "dufs":
+        report = audit_dufs(dep)
+    return ChaosRunResult(
+        deployment=deployment,
+        completed=len(completions),
+        failed=len(failures),
+        max_stall=max_gap(completions),
+        elapsed=cluster.sim.now - settle,
+        issued=issued[0],
+        trace=list(engine.trace),
+        audit=report,
+    )

@@ -46,8 +46,9 @@ def main(argv=None) -> int:
                     "Metadata Service Layer benefit Parallel Filesystems?' "
                     "(CLUSTER 2011) on the simulated cluster.")
     parser.add_argument("target",
-                        choices=[*RUNNERS, "claims", "all"],
-                        help="which figure/table to regenerate")
+                        choices=[*RUNNERS, "claims", "chaos", "all"],
+                        help="which figure/table to regenerate "
+                             "(or 'chaos': a fault-injection run)")
     parser.add_argument("--scale", default="quick",
                         choices=("quick", "medium", "full"),
                         help="sweep size: quick (seconds), medium, or full "
@@ -57,12 +58,21 @@ def main(argv=None) -> int:
                         help="also write each figure as CSV into DIR")
     parser.add_argument("--chart", action="store_true",
                         help="render ASCII charts of each figure's panels")
+    parser.add_argument("--deployment", default="dufs",
+                        choices=("dufs", "lustre", "pvfs"),
+                        help="chaos target deployment (chaos only)")
+    parser.add_argument("--ops", type=int, default=400,
+                        help="chaos op-stream length (chaos only)")
     args = parser.parse_args(argv)
 
     targets = list(RUNNERS) + ["claims"] if args.target == "all" \
         else [args.target]
     for target in targets:
-        if target == "claims":
+        if target == "chaos":
+            from .chaos import run_chaos
+            result = run_chaos(args.deployment, seed=args.seed, ops=args.ops)
+            print(result.summary())
+        elif target == "claims":
             scale = args.scale if args.scale != "quick" else "medium"
             print(render_headline(run_headline_claims(scale=scale,
                                                       seed=args.seed)))

@@ -47,6 +47,7 @@ from ..sim.node import Node
 from ..zk.client import ZKClient
 from ..zk.errors import (
     BadVersionError,
+    ConnectionLossError,
     NoNodeError,
     NodeExistsError,
     NotEmptyError,
@@ -110,13 +111,37 @@ class DUFSClient:
         # the back-end with no further ZooKeeper contact.
         self._handles: dict = {}
         self._next_fh = 0
+        # Degraded mode (fault tolerance): back-end indices currently
+        # marked dead. Ops whose FID maps to one fail fast with EIO while
+        # the ZooKeeper namespace keeps serving everything else.
+        self.degraded: set = set()
         self.stats = {"ops": 0, "zk_reads": 0, "zk_writes": 0,
-                      "backend_ops": 0}
+                      "backend_ops": 0, "degraded_fails": 0}
 
     # -- internals ------------------------------------------------------------
     def _logic(self, *costs: float) -> Generator:
         yield from self.node.cpu_work(self.params.client_logic_cpu
                                       + sum(costs))
+
+    # -- degraded mode -------------------------------------------------------
+    def mark_backend_down(self, backend: int) -> None:
+        """Enter degraded mode for one back-end: only the ``MD5(FID) mod
+        N`` slice mapped to it fails (EIO); directory/symlink ops and files
+        on other back-ends keep working (paper §IV-I)."""
+        self.degraded.add(backend)
+
+    def mark_backend_up(self, backend: int) -> None:
+        self.degraded.discard(backend)
+
+    def _backend_call(self, backend: int, method: str, *args) -> Generator:
+        """Every physical-filesystem access funnels through here so a dead
+        back-end fails the op instead of hanging it."""
+        if backend in self.degraded:
+            self.stats["degraded_fails"] += 1
+            raise FSError(EIO, msg=f"back-end {backend} unavailable "
+                                   "(degraded mode)")
+        result = yield from getattr(self.backends[backend], method)(*args)
+        return result
 
     def _get_payload(self, path: str) -> Generator:
         """Znode lookup (step B of Fig. 3): payload + znode stat."""
@@ -173,12 +198,11 @@ class DUFSClient:
     def _ensure_physical_dirs(self, backend: int, fid: int) -> Generator:
         """mkdir -p of the static hash-directory chain (cached)."""
         cache = self._known_dirs[backend]
-        be = self.backends[backend]
         for d in physical_dirs(fid, self.layout):
             if d in cache:
                 continue
             try:
-                yield from be.mkdir(d)
+                yield from self._backend_call(backend, "mkdir", d)
             except FSError as exc:
                 if exc.err != EEXIST:
                     raise
@@ -194,6 +218,20 @@ class DUFSClient:
         self.stats["zk_writes"] += 1
         try:
             yield from self.zk.create(path, DirPayload(mode).encode())
+        except NodeExistsError as exc:
+            # Retried mkdir whose first attempt landed: if the existing
+            # znode is a directory, the post-condition holds.
+            if self.zk.last_retries:
+                self.stats["zk_reads"] += 1
+                try:
+                    data, _ = yield from self.zk.get(path)
+                except ZKError:
+                    data = None
+                if data is not None and isinstance(decode_payload(data),
+                                                   DirPayload):
+                    self._vdir_cache.add(path)
+                    return True
+            raise _map_zk_error(exc, path) from None
         except ZKError as exc:
             raise _map_zk_error(exc, path) from None
         self._vdir_cache.add(path)
@@ -209,6 +247,9 @@ class DUFSClient:
         self.stats["zk_writes"] += 1
         try:
             yield from self.zk.delete(path)
+        except NoNodeError as exc:
+            if not self.zk.last_retries:  # retried rmdir already landed
+                raise _map_zk_error(exc, path) from None
         except ZKError as exc:
             raise _map_zk_error(exc, path) from None
         self._vdir_cache.discard(path)
@@ -263,7 +304,7 @@ class DUFSClient:
         yield from self._logic(self.params.mapping_cpu)
         backend, ppath = self._locate(payload.fid)
         self.stats["backend_ops"] += 1
-        st = yield from self.backends[backend].stat(ppath)
+        st = yield from self._backend_call(backend, "stat", ppath)
         st.st_mode = S_IFREG | (st.st_mode & 0o7777)
         return st
 
@@ -283,18 +324,57 @@ class DUFSClient:
         backend, ppath = self._locate(fid)
         yield from self._ensure_physical_dirs(backend, fid)
         self.stats["backend_ops"] += 1
-        yield from self.backends[backend].create(ppath, mode)
+        yield from self._backend_call(backend, "create", ppath, mode)
         self.stats["zk_writes"] += 1
         try:
             yield from self.zk.create(path, FilePayload(fid, mode).encode())
+        except NodeExistsError as exc:
+            # A retried create whose first attempt landed raises
+            # NodeExists from the duplicate (at-least-once semantics).
+            # Distinguish it from a genuine collision by checking whether
+            # the existing znode carries *our* FID.
+            if self.zk.last_retries:
+                mine = yield from self._znode_has_fid(path, fid)
+                if mine:
+                    return True
+            yield from self._rollback_physical(backend, ppath)
+            raise _map_zk_error(exc, path) from None
+        except ConnectionLossError as exc:
+            # Retry budget exhausted with the outcome unknown: a
+            # verification read decides whether the write landed. Only
+            # roll the physical file back when the znode is provably
+            # absent — a dangling name->FID mapping is worse than an
+            # orphaned physical file.
+            mine = yield from self._znode_has_fid(path, fid)
+            if mine:
+                return True
+            if mine is False:
+                yield from self._rollback_physical(backend, ppath)
+            raise _map_zk_error(exc, path) from None
         except ZKError as exc:
             # Roll the physical file back; the name was never published.
-            try:
-                yield from self.backends[backend].unlink(ppath)
-            except FSError:
-                pass
+            yield from self._rollback_physical(backend, ppath)
             raise _map_zk_error(exc, path) from None
         return True
+
+    def _znode_has_fid(self, path: str, fid: int) -> Generator:
+        """Verification read: True if ``path`` is a file znode carrying
+        ``fid``, False if provably not, None if undeterminable."""
+        self.stats["zk_reads"] += 1
+        try:
+            data, _ = yield from self.zk.get(path)
+        except NoNodeError:
+            return False
+        except ZKError:
+            return None
+        payload = decode_payload(data)
+        return isinstance(payload, FilePayload) and payload.fid == fid
+
+    def _rollback_physical(self, backend: int, ppath: str) -> Generator:
+        try:
+            yield from self._backend_call(backend, "unlink", ppath)
+        except FSError:
+            pass
 
     def unlink(self, path: str) -> Generator:
         path = normalize_path(path)
@@ -306,6 +386,13 @@ class DUFSClient:
         self.stats["zk_writes"] += 1
         try:
             yield from self.zk.delete(path)
+        except NoNodeError as exc:
+            # A retried delete whose first attempt landed: the znode is
+            # gone, which is the post-condition we wanted. (Without
+            # retries this path is unreachable — _get_payload above
+            # already raised ENOENT.)
+            if not self.zk.last_retries:
+                raise _map_zk_error(exc, path) from None
         except ZKError as exc:
             raise _map_zk_error(exc, path) from None
         if isinstance(payload, FilePayload):
@@ -313,7 +400,7 @@ class DUFSClient:
             backend, ppath = self._locate(payload.fid)
             self.stats["backend_ops"] += 1
             try:
-                yield from self.backends[backend].unlink(ppath)
+                yield from self._backend_call(backend, "unlink", ppath)
             except FSError as exc:
                 if exc.err != ENOENT:
                     raise
@@ -333,7 +420,7 @@ class DUFSClient:
             return result
         backend, ppath = self._locate(payload.fid)
         self.stats["backend_ops"] += 1
-        yield from self.backends[backend].open(ppath, flags)
+        yield from self._backend_call(backend, "open", ppath, flags)
         return (backend, ppath)
 
     def open(self, path: str, flags: int = 0) -> Generator:
@@ -364,28 +451,32 @@ class DUFSClient:
         """Read through an open handle — back-end only, no ZooKeeper."""
         backend, ppath = self._handle(fh)
         self.stats["backend_ops"] += 1
-        result = yield from self.backends[backend].read(ppath, offset, size)
+        result = yield from self._backend_call(backend, "read", ppath,
+                                               offset, size)
         return result
 
     def pwrite(self, fh: int, offset: int, data: bytes) -> Generator:
         backend, ppath = self._handle(fh)
         self.stats["backend_ops"] += 1
-        result = yield from self.backends[backend].write(ppath, offset, data)
+        result = yield from self._backend_call(backend, "write", ppath,
+                                               offset, data)
         return result
 
     def read(self, path: str, offset: int, size: int) -> Generator:
         backend, ppath = yield from self._resolve_file(path)
-        result = yield from self.backends[backend].read(ppath, offset, size)
+        result = yield from self._backend_call(backend, "read", ppath,
+                                               offset, size)
         return result
 
     def write(self, path: str, offset: int, data: bytes) -> Generator:
         backend, ppath = yield from self._resolve_file(path)
-        result = yield from self.backends[backend].write(ppath, offset, data)
+        result = yield from self._backend_call(backend, "write", ppath,
+                                               offset, data)
         return result
 
     def truncate(self, path: str, size: int) -> Generator:
         backend, ppath = yield from self._resolve_file(path)
-        yield from self.backends[backend].truncate(ppath, size)
+        yield from self._backend_call(backend, "truncate", ppath, size)
         return True
 
     def statfs(self) -> Generator:
@@ -394,10 +485,12 @@ class DUFSClient:
 
         yield from self._logic()
         total = StatVFS(f_capacity=0)
-        for be in self.backends:
+        for i, be in enumerate(self.backends):
             if hasattr(be, "statfs"):
+                if i in self.degraded:
+                    continue  # skip dead back-ends; report reachable capacity
                 self.stats["backend_ops"] += 1
-                vfs = yield from be.statfs()
+                vfs = yield from self._backend_call(i, "statfs")
                 total = total.merge(vfs)
         return total
 
@@ -419,7 +512,7 @@ class DUFSClient:
             return True  # chmod on symlinks is a no-op
         backend, ppath = self._locate(payload.fid)
         self.stats["backend_ops"] += 1
-        yield from self.backends[backend].chmod(ppath, mode)
+        yield from self._backend_call(backend, "chmod", ppath, mode)
         # Keep the znode's cached mode in sync (best effort).
         new = FilePayload(payload.fid, mode & 0o7777)
         self.stats["zk_writes"] += 1
@@ -487,7 +580,7 @@ class DUFSClient:
             backend, ppath = self._locate(dst_payload.fid)
             self.stats["backend_ops"] += 1
             try:
-                yield from self.backends[backend].unlink(ppath)
+                yield from self._backend_call(backend, "unlink", ppath)
             except FSError:
                 pass
         return True

@@ -14,12 +14,12 @@ from typing import Any, Generator, List, Optional, Sequence
 
 from ..fuse.mount import FuseMount
 from ..fuse.ops import OperationTable
-from ..models.params import SimParams
+from ..models.params import FaultToleranceParams, SimParams
 from ..pfs.localfs import LocalFS
 from ..pfs.lustre.fs import build_lustre
 from ..pfs.pvfs.fs import build_pvfs
 from ..sim.node import Cluster, Node
-from ..zk.client import ZKClient
+from ..zk.client import _UNSET, ZKClient
 from ..zk.ensemble import ZKEnsemble, build_ensemble
 from .client import DUFSClient
 from .mapping import MappingFunction
@@ -86,8 +86,9 @@ def build_dufs_deployment(
     co_locate_zk: bool = True,
     mapping_strategy: str = "md5mod",
     seed: int = 0,
-    zk_request_timeout: Optional[float] = None,
-    zk_max_retries: int = 0,
+    zk_request_timeout: Any = _UNSET,
+    zk_max_retries: Any = _UNSET,
+    fault: Optional[FaultToleranceParams] = None,
 ) -> DUFSDeployment:
     """Wire up a complete DUFS installation on a fresh simulated cluster.
 
@@ -95,8 +96,15 @@ def build_dufs_deployment(
     (each instance = 1 MDS + ``n_oss_per_lustre`` OSS),  ``"pvfs"`` (each
     instance = ``pvfs_servers_per_instance`` combined metadata/data
     servers) or ``"local"`` (cheap in-memory, for tests/examples).
+
+    Fault tolerance: each ZK client follows ``fault`` (default:
+    ``params.fault`` — finite timeouts, retries with backoff, session
+    re-establishment), so a lost message or crashed server can no longer
+    hang a deployment. ``zk_request_timeout`` / ``zk_max_retries`` remain
+    as explicit per-deployment overrides of that policy.
     """
     params = params or SimParams()
+    fault = fault or params.fault
     cluster = Cluster(seed=seed if seed else params.seed)
     client_nodes = [cluster.add_node(f"client{i}", cores=params.node_cores)
                     for i in range(n_client_nodes)]
@@ -118,7 +126,8 @@ def build_dufs_deployment(
             prefer = ensemble.server_for(i)
         zkc = ZKClient(node, ensemble.endpoints, prefer=prefer,
                        request_timeout=zk_request_timeout,
-                       max_retries=zk_max_retries, name=f"dufszk{i}")
+                       max_retries=zk_max_retries, name=f"dufszk{i}",
+                       fault=fault)
         backend_clients = [
             be.client(node) if backend != "local" else be.client()
             for be in backends

@@ -20,6 +20,29 @@ from typing import Optional
 
 
 @dataclass
+class FaultToleranceParams:
+    """Client-side fault-tolerance policy (ZK client + DUFS).
+
+    ``request_timeout``/``max_retries`` bound a single RPC; the retry loop
+    sleeps between attempts with *decorrelated jitter* backoff
+    (``sleep = min(cap, uniform(base, 3 * prev))``) and gives up early once
+    ``op_budget`` seconds have elapsed for the whole operation. With
+    ``reconnect_on_expiry`` the client transparently re-establishes its
+    session after a :class:`~repro.zk.errors.SessionExpiredError`;
+    ``degraded_mode`` lets a DUFS client keep serving the namespace while a
+    dead back-end fails only the FID slice mapped to it.
+    """
+
+    request_timeout: float = 5.0
+    max_retries: int = 6
+    backoff_base: float = 0.02
+    backoff_cap: float = 1.0
+    op_budget: float = 60.0            # wall-clock budget per operation
+    reconnect_on_expiry: bool = True
+    degraded_mode: bool = True
+
+
+@dataclass
 class ZKParams:
     """ZooKeeper server cost model.
 
@@ -157,6 +180,10 @@ class PVFSParams:
     disk_txn: float = 8.0e-3
     disk_batch_max: int = 1            # dbpf fsyncs each metadata txn
 
+    # Client RPC timeout (None = infinite, the 2.8-era sysint behaviour).
+    # Set in chaos runs so a crashed server surfaces as EIO, not a hang.
+    client_rpc_timeout: float | None = None
+
 
 @dataclass
 class FUSEParams:
@@ -190,6 +217,7 @@ class SimParams:
     pvfs: PVFSParams = field(default_factory=PVFSParams)
     fuse: FUSEParams = field(default_factory=FUSEParams)
     dufs: DUFSParams = field(default_factory=DUFSParams)
+    fault: FaultToleranceParams = field(default_factory=FaultToleranceParams)
 
     node_cores: int = 8                # dual Xeon E5335
     client_op_cpu: float = 18e-6       # mdtest/app-side cost per op

@@ -12,10 +12,10 @@ from __future__ import annotations
 import itertools
 from typing import Generator, List, Tuple
 
-from ...errors import EEXIST, EISDIR, ENOENT, ENOTDIR, FSError
+from ...errors import EEXIST, EIO, EISDIR, ENOENT, ENOTDIR, FSError
 from ...sim.core import AllOf
 from ...sim.node import Node
-from ...sim.rpc import RpcAgent
+from ...sim.rpc import RpcAgent, RpcTimeout
 from ..base import (
     DirEntry,
     S_IFDIR,
@@ -45,8 +45,18 @@ class PVFSClient:
 
     def _call(self, endpoint: str, method: str, args, size: int = 144) -> Generator:
         self.stats["rpcs"] += 1
-        result = yield from self.agent.call(endpoint, method, args, size=size)
-        return result
+        timeout = self.fs.params.client_rpc_timeout
+        attempts = 5 if timeout else 1
+        for attempt in range(attempts):
+            try:
+                result = yield from self.agent.call(endpoint, method, args,
+                                                    size=size, timeout=timeout)
+                return result
+            except RpcTimeout:
+                if attempt == attempts - 1:
+                    raise FSError(
+                        EIO, msg=f"PVFS server unreachable: {method}"
+                    ) from None
 
     def _pcall(self, calls: List[Tuple[str, str, object]]) -> Generator:
         """Run several server calls in parallel, return results in order."""

@@ -54,6 +54,8 @@ class PVFSServer:
         self._txn_queue: deque[Event] = deque()
         self._txn_kick = Store(self.sim)
         node.spawn(self._txn_loop(), f"{endpoint}.txn")
+        node.on_crash(self._on_crash)
+        node.on_recover(self._on_recover)
         self.agent = RpcAgent(node, endpoint)
         self.stats = {"ops": 0, "txns": 0}
         a = self.agent
@@ -106,6 +108,17 @@ class PVFSServer:
                 for ev in batch:
                     if not ev.triggered:
                         ev.succeed()
+
+    def _on_crash(self) -> None:
+        # In-flight (un-synced) transactions die with the server; their
+        # requesters were interrupted or will time out.
+        self._txn_queue.clear()
+
+    def _on_recover(self) -> None:
+        # Fresh kick store + txn loop, so a recovered server serves
+        # mutations again (objects/handles persist: trove is on disk).
+        self._txn_kick = Store(self.sim)
+        self.node.spawn(self._txn_loop(), f"{self.endpoint}.txn")
 
     def _get(self, handle: int) -> _Obj:
         obj = self.objects.get(handle)

@@ -22,6 +22,11 @@ GIGE_BANDWIDTH = 117e6     # effective bytes/s on 1 GigE
 LOOPBACK_LATENCY = 8e-6    # same-host latency (s)
 LOOPBACK_BANDWIDTH = 2e9
 
+#: Stream name all link-fault randomness draws from. Draws happen only
+#: while a fault with loss/duplication is installed, so healthy runs see
+#: exactly the event sequence they saw before chaos existed.
+CHAOS_STREAM = "net.chaos"
+
 
 @dataclass(frozen=True)
 class Message:
@@ -39,6 +44,27 @@ class NetworkStats:
     messages: int = 0
     bytes: int = 0
     dropped: int = 0
+    duplicated: int = 0
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Degradation installed on a directed host pair (``"*"`` = any host).
+
+    ``latency_factor``/``bandwidth_factor`` scale the link's base delay
+    model; ``loss`` drops each message independently with the given
+    probability; ``duplicate`` delivers a second, late copy with the given
+    probability (out of order, as real duplication is).
+    """
+
+    latency_factor: float = 1.0
+    bandwidth_factor: float = 1.0
+    loss: float = 0.0
+    duplicate: float = 0.0
+
+    @property
+    def stochastic(self) -> bool:
+        return self.loss > 0.0 or self.duplicate > 0.0
 
 
 class Network:
@@ -51,18 +77,22 @@ class Network:
         bandwidth: float = GIGE_BANDWIDTH,
         loopback_latency: float = LOOPBACK_LATENCY,
         loopback_bandwidth: float = LOOPBACK_BANDWIDTH,
+        streams=None,
     ):
         self.sim = sim
         self.latency = latency
         self.bandwidth = bandwidth
         self.loopback_latency = loopback_latency
         self.loopback_bandwidth = loopback_bandwidth
+        self.streams = streams                 # RandomStreams (link faults)
         self.stats = NetworkStats()
         self._inboxes: dict[str, Store] = {}
         self._hosts: dict[str, str] = {}       # endpoint -> host name
         self._down: set[str] = set()           # down endpoints
         self._last_delivery: dict[tuple[str, str], float] = {}
         self._partition: Optional[dict[str, int]] = None  # host -> group id
+        # directed (src_host, dst_host) -> LinkFault; "*" matches any host
+        self._link_faults: dict[tuple[str, str], LinkFault] = {}
 
     # -- topology --------------------------------------------------------
     def register(self, endpoint: str, host: Optional[str] = None) -> Store:
@@ -101,6 +131,51 @@ class Network:
     def heal(self) -> None:
         self._partition = None
 
+    # -- link degradation (chaos) ----------------------------------------
+    def degrade_link(self, src_host: str, dst_host: str, *,
+                     latency_factor: Optional[float] = None,
+                     bandwidth_factor: Optional[float] = None,
+                     loss: Optional[float] = None,
+                     duplicate: Optional[float] = None) -> LinkFault:
+        """Install (or amend) a fault on the directed ``src_host`` ->
+        ``dst_host`` link; ``"*"`` is a wildcard host. Unspecified fields
+        keep their current value for the pair. Loopback traffic (same
+        host) is never affected."""
+        key = (src_host, dst_host)
+        cur = self._link_faults.get(key, LinkFault())
+        fault = LinkFault(
+            latency_factor=cur.latency_factor if latency_factor is None
+            else latency_factor,
+            bandwidth_factor=cur.bandwidth_factor if bandwidth_factor is None
+            else bandwidth_factor,
+            loss=cur.loss if loss is None else loss,
+            duplicate=cur.duplicate if duplicate is None else duplicate,
+        )
+        self._link_faults[key] = fault
+        return fault
+
+    def restore_link(self, src_host: str, dst_host: str) -> None:
+        self._link_faults.pop((src_host, dst_host), None)
+
+    def clear_link_faults(self) -> None:
+        self._link_faults.clear()
+
+    def _fault_for(self, src_host: str, dst_host: str) -> Optional[LinkFault]:
+        if not self._link_faults or src_host == dst_host:
+            return None
+        for key in ((src_host, dst_host), (src_host, "*"),
+                    ("*", dst_host), ("*", "*")):
+            fault = self._link_faults.get(key)
+            if fault is not None:
+                return fault
+        return None
+
+    def _chaos_rng(self):
+        if self.streams is None:  # pragma: no cover - chaos needs streams
+            raise RuntimeError("probabilistic link faults need a Network "
+                               "built with RandomStreams (Cluster does this)")
+        return self.streams.stream(CHAOS_STREAM)
+
     def _reachable(self, src: str, dst: str) -> bool:
         if src in self._down or dst in self._down:
             return False
@@ -124,12 +199,34 @@ class Network:
             return
         sim = self.sim
         delay = self.delay_for(src, dst, size)
+        fault = self._fault_for(self._hosts.get(src, src),
+                                self._hosts.get(dst, dst))
+        duplicate = False
+        if fault is not None:
+            if fault.stochastic:
+                rng = self._chaos_rng()
+                if fault.loss > 0.0 and rng.random() < fault.loss:
+                    self.stats.dropped += 1
+                    return
+                duplicate = (fault.duplicate > 0.0
+                             and rng.random() < fault.duplicate)
+            delay = (self.latency * fault.latency_factor
+                     + size / (self.bandwidth * fault.bandwidth_factor))
         key = (src, dst)
         deliver_at = max(sim.now + delay, self._last_delivery.get(key, 0.0))
         self._last_delivery[key] = deliver_at
         self.stats.messages += 1
         self.stats.bytes += size
         msg = Message(src, dst, payload, size, sim.now)
+        self._schedule_delivery(deliver_at, msg)
+        if duplicate:
+            # The copy arrives a link-delay later, out of FIFO order —
+            # receivers must tolerate it (at-least-once delivery).
+            self.stats.duplicated += 1
+            self._schedule_delivery(deliver_at + delay, msg)
+
+    def _schedule_delivery(self, deliver_at: float, msg: Message) -> None:
+        sim = self.sim
         ev = sim.event()
         ev.callbacks.append(lambda _ev, m=msg: self._deliver(m))
         ev._ok = True

@@ -29,13 +29,13 @@ class Cluster:
         strict: bool = True,
     ):
         self.sim = Simulator(strict=strict)
+        self.streams = RandomStreams(seed)
         kwargs = {}
         if latency is not None:
             kwargs["latency"] = latency
         if bandwidth is not None:
             kwargs["bandwidth"] = bandwidth
-        self.network = Network(self.sim, **kwargs)
-        self.streams = RandomStreams(seed)
+        self.network = Network(self.sim, streams=self.streams, **kwargs)
         self.nodes: Dict[str, "Node"] = {}
 
     def add_node(self, name: str, cores: int = 8, disk_concurrency: int = 1) -> "Node":
@@ -65,6 +65,8 @@ class Node:
         self.disk_concurrency = disk_concurrency
         self.cpu = Resource(self.sim, cores)
         self.disk = Resource(self.sim, disk_concurrency)
+        # Chaos hook: >1 stretches every disk_io (a degraded/contended disk).
+        self.disk_factor = 1.0
         self.down = False
         self._procs: list[Process] = []
         self._on_crash: list[Callable[[], None]] = []
@@ -104,7 +106,7 @@ class Node:
         req = self.disk.request()
         try:
             yield req
-            yield self.sim.timeout(seconds)
+            yield self.sim.timeout(seconds * self.disk_factor)
         finally:
             self.disk.release(req)
 

@@ -7,23 +7,31 @@ by DUFS rename) and watches. Every method is a generator to be driven with
 ``yield from`` inside a simulation process.
 
 A client holds a session on one server of the ensemble (like a real ZK
-connection). On connection loss it can fail over to the next server and
-retry idempotent operations; non-idempotent retries follow the real
-client's semantics (the caller may observe ``NodeExistsError`` after a
-retried create whose first attempt actually landed).
+connection). On connection loss it fails over to the next server and
+retries with decorrelated-jitter backoff under a per-operation wall-clock
+budget (:class:`~repro.models.params.FaultToleranceParams`); an expired
+session is transparently re-established. Non-idempotent retries follow the
+real client's semantics (the caller may observe ``NodeExistsError`` after
+a retried create whose first attempt actually landed) — ``last_retries``
+tells callers whether the preceding operation was retried so they can
+disambiguate.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 from typing import Any, Callable, Generator, List, Optional, Sequence, Tuple
 
+from ..models.params import FaultToleranceParams
 from ..sim.node import Node
 from ..sim.rpc import RpcAgent, RpcTimeout
-from .errors import ConnectionLossError, NotLeaderError
+from .errors import ConnectionLossError, NotLeaderError, SessionExpiredError
 from .protocol import ReadRequest, WatchEvent, WriteRequest
 
 _client_seq = itertools.count()
+
+_UNSET = object()
 
 
 class ZKClient:
@@ -34,9 +42,10 @@ class ZKClient:
         node: Node,
         servers: Sequence[str],
         prefer: Optional[str] = None,
-        request_timeout: Optional[float] = None,
-        max_retries: int = 0,
+        request_timeout: Any = _UNSET,
+        max_retries: Any = _UNSET,
         name: Optional[str] = None,
+        fault: Optional[FaultToleranceParams] = None,
     ):
         if not servers:
             raise ValueError("need at least one server endpoint")
@@ -46,10 +55,19 @@ class ZKClient:
         self.server = prefer if prefer is not None else self.servers[0]
         if self.server not in self.servers:
             raise ValueError(f"prefer {self.server!r} not in server list")
-        self.request_timeout = request_timeout
-        self.max_retries = max_retries
+        self.fault = fault or FaultToleranceParams()
+        # Explicit per-client values win over the fault-tolerance policy;
+        # the defaults (5 s timeout, retries with backoff) mean a single
+        # lost message can no longer hang an operation forever.
+        self.request_timeout = (self.fault.request_timeout
+                                if request_timeout is _UNSET
+                                else request_timeout)
+        self.max_retries = (self.fault.max_retries if max_retries is _UNSET
+                            else max_retries)
         self.session: Optional[int] = None
+        self.last_retries = 0       # retries performed by the last request
         ident = name or f"zkcli{next(_client_seq)}"
+        self._backoff_stream = f"zk.client.{ident}"
         self.agent = RpcAgent(node, ident)
         self.agent.register_fast("watch_event", self._on_watch_event)
         self._watch_callbacks: dict[str, List[Callable[[WatchEvent], None]]] = {}
@@ -83,22 +101,63 @@ class ZKClient:
         return None
 
     # -- plumbing ------------------------------------------------------------
+    def _backoff(self, prev: float) -> float:
+        """Decorrelated jitter: ``min(cap, uniform(base, 3 * prev))``."""
+        f = self.fault
+        rng = self.node.cluster.streams.stream(self._backoff_stream)
+        return min(f.backoff_cap, rng.uniform(f.backoff_base, 3.0 * prev))
+
     def _request(self, method: str, args: Any, size: int = 160) -> Generator:
-        attempts = self.max_retries + 1
-        last_exc: Optional[Exception] = None
-        for attempt in range(attempts):
-            try:
-                result = yield from self.agent.call(
-                    self.server, method, args, size=size,
-                    timeout=self.request_timeout)
-                return result
-            except (RpcTimeout, ConnectionLossError, NotLeaderError) as exc:
-                last_exc = exc
-                if attempt + 1 < attempts:
+        f = self.fault
+        deadline = self.sim.now + f.op_budget if f.op_budget else None
+        prev_sleep = f.backoff_base
+        reconnects = 0
+        attempt = 0
+        try:
+            while True:
+                try:
+                    result = yield from self.agent.call(
+                        self.server, method, args, size=size,
+                        timeout=self.request_timeout)
+                    return result
+                except SessionExpiredError:
+                    # The server no longer knows our session: re-establish
+                    # it and rebind the request, unless the caller opted
+                    # out or this *is* session management.
+                    reconnects += 1
+                    if (not f.reconnect_on_expiry or reconnects > 2
+                            or method in ("connect", "close_session")):
+                        raise
+                    self.session = None
+                    yield from self.connect()
+                    if isinstance(args, WriteRequest):
+                        args = self._rebind_session(args)
+                except (RpcTimeout, ConnectionLossError,
+                        NotLeaderError) as exc:
+                    attempt += 1
+                    exhausted = attempt > self.max_retries or (
+                        deadline is not None and self.sim.now >= deadline)
+                    if exhausted:
+                        if isinstance(exc, RpcTimeout):
+                            raise ConnectionLossError(msg=str(exc)) from None
+                        raise
                     self._fail_over()
-        if isinstance(last_exc, RpcTimeout):
-            raise ConnectionLossError(msg=str(last_exc))
-        raise last_exc  # type: ignore[misc]
+                    sleep = self._backoff(prev_sleep)
+                    prev_sleep = max(sleep, f.backoff_base)
+                    if sleep > 0:
+                        yield self.sim.timeout(sleep)
+        finally:
+            # Published last so nested connect() calls cannot clobber it;
+            # callers use it to disambiguate retried non-idempotent writes.
+            self.last_retries = attempt + reconnects
+
+    def _rebind_session(self, req: WriteRequest) -> WriteRequest:
+        session = self.session or 0
+        if req.op == "multi":
+            ops = tuple(dataclasses.replace(o, session=session)
+                        if o.ephemeral else o for o in req.ops)
+            return dataclasses.replace(req, ops=ops, session=session)
+        return dataclasses.replace(req, session=session)
 
     def _fail_over(self) -> None:
         idx = self.servers.index(self.server)

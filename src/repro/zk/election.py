@@ -23,7 +23,7 @@ from ..sim.core import Interrupt
 from ..sim.rpc import RpcTimeout
 from .data import ZnodeStore
 from .errors import NotLeaderError, ZKError
-from .protocol import FollowerInfo, Vote
+from .protocol import Ack, FollowerInfo, Vote
 
 if TYPE_CHECKING:  # pragma: no cover
     from .server import ZKServer
@@ -225,9 +225,18 @@ def follow(server: "ZKServer", leader_sid: int) -> Generator:
             server.store.apply(txn, zxid, server.sim.now)
             server.commit_index = zxid
     server.pending_commit = server.commit_index
+    server._accepted_zxid = (server.log[-1][0] if server.log
+                             else server._snapshot_zxid)
     server.role = FOLLOWING
     server.last_ping_at = server.sim.now
     server._syncing = False
+    # Entries learned through the sync are durably logged now: ack the
+    # uncommitted tail so proposals that were dropped on the wire can
+    # still reach quorum through a re-synced follower.
+    if not server.observer:
+        tail = tuple(z for z, _ in server.log if z > resp.commit_to)
+        if tail:
+            server._cast_peer(leader_sid, "ack", Ack(tail, server.sid))
     # Replay proposals that raced past the sync response.
     buffered, server._presync = server._presync, []
     for prop in buffered:

@@ -32,6 +32,7 @@ from .data import ZnodeStore
 from .errors import (
     ConnectionLossError,
     NotLeaderError,
+    SessionExpiredError,
     ZKError,
 )
 from .protocol import (
@@ -113,6 +114,8 @@ class ZKServer:
 
         # follower-only
         self.pending_commit = 0                   # highest Commit.upto seen
+        self._accepted_zxid = 0                   # highest zxid accepted into
+                                                  # the log pipeline
         self._syncing = False                     # buffering proposals
         self._presync: List[Propose] = []
 
@@ -138,7 +141,7 @@ class ZKServer:
 
         # counters for tests / benchmarks
         self.stats = {"reads": 0, "writes": 0, "proposals": 0, "commits": 0,
-                      "forwards": 0, "elections": 0}
+                      "forwards": 0, "elections": 0, "gap_resyncs": 0}
 
         self.agent = RpcAgent(node, self.endpoint)
         self._register_handlers()
@@ -297,6 +300,15 @@ class ZKServer:
         raise ZKError(req.path, f"unknown read op {req.op!r}")
 
     def _h_write(self, src: str, req: WriteRequest) -> Generator:
+        if (self.params.session_tracking and req.op == "create"
+                and req.ephemeral and req.session
+                and req.session not in self.sessions):
+            # The owning session is gone (expired, or established on
+            # another server): the real server refuses rather than create
+            # an unreclaimable ephemeral. Clients reconnect and retry.
+            raise SessionExpiredError(
+                req.path, msg=f"session {req.session:#x} unknown at "
+                              f"zk{self.sid}")
         result = yield from self._route_write(req)
         return result
 
@@ -550,10 +562,43 @@ class ZKServer:
             return
         if self.role != FOLLOWING or prop.epoch != self.epoch:
             return  # stale leader
+        if prop.zxid <= self._accepted_zxid:
+            return  # duplicate (logged, or queued/batched for the fsync)
         if self.log and prop.zxid <= self.log[-1][0]:
-            return  # duplicate
+            return  # duplicate (already logged)
+        if self._gap_before(prop.zxid):
+            # A proposal was lost on the wire: logging past the hole and
+            # later applying commits across it would silently diverge from
+            # the leader at the same commit index. Buffer this proposal and
+            # re-sync our log from the leader instead.
+            from .election import follow
+            self.stats["gap_resyncs"] += 1
+            self._syncing = True
+            self._presync = [prop]
+            self.node.spawn(follow(self, self.leader_sid),
+                            f"zk{self.sid}.gap-resync")
+            return
+        self._accepted_zxid = prop.zxid
         self._log_queue.append(("log", prop.zxid, prop.txn, self.leader_sid))
         self._log_kick.put(True)
+
+    def _gap_before(self, zxid: int) -> bool:
+        """True if accepting ``zxid`` would leave a hole in the log.
+
+        Proposals within an epoch carry consecutive zxid counters; the
+        predecessor of ``zxid`` must already have been accepted into the
+        pipeline (``_accepted_zxid`` — the log, the fsync queue, or the
+        in-flight fsync batch) or be the checkpoint horizon when the
+        replayed log prefix was truncated."""
+        last = self._accepted_zxid or self._snapshot_zxid
+        if not last:
+            # Fresh, empty log: the first proposal of an epoch is counter 1.
+            return (zxid & 0xFFFFFFFF) != 1
+        if (zxid >> 32) != (last >> 32):
+            # First proposal we see of a new epoch; any committed
+            # predecessors arrived via the post-election sync.
+            return (zxid & 0xFFFFFFFF) != 1
+        return zxid != last + 1
 
     def _f_ack(self, src: str, ack: Ack) -> None:
         if self.role != LEADING:
@@ -835,6 +880,9 @@ class ZKServer:
         self.exist_watches.clear()
         self._log_queue.clear()
         self._votes.clear()
+        # Accepted-but-unfsynced proposals died with the logger pipeline.
+        self._accepted_zxid = self.log[-1][0] if self.log \
+            else self._snapshot_zxid
 
     def _rebuild_from_disk(self) -> None:
         if self._snapshot is not None:

@@ -1,0 +1,74 @@
+"""ChaosSchedule builder and RandomChaos generator."""
+
+import pytest
+
+from repro.chaos import ChaosSchedule, FaultSpec, RandomChaos
+
+
+def test_builder_chains_and_sorts():
+    sched = (ChaosSchedule()
+             .recover(2.0, "n1")
+             .crash(1.0, "n1")
+             .drop(0.5, "a", "b", probability=0.3)
+             .heal(3.0))
+    kinds = [s.kind for s in sched.events()]
+    assert kinds == ["drop", "crash", "recover", "heal"]
+    assert len(sched) == 4
+
+
+def test_builder_rejects_bad_input():
+    with pytest.raises(ValueError):
+        ChaosSchedule()._add(FaultSpec(0.0, "explode", ("n1",)))
+    with pytest.raises(ValueError):
+        ChaosSchedule().crash(-1.0, "n1")
+
+
+def test_stable_order_for_simultaneous_events():
+    sched = ChaosSchedule().crash(1.0, "a").crash(1.0, "b").crash(1.0, "c")
+    assert [s.target[0] for s in sched.events()] == ["a", "b", "c"]
+
+
+def test_describe_mentions_parameters():
+    sched = (ChaosSchedule()
+             .degrade_link(1.0, "a", "b", factor=8.0)
+             .drop(2.0, probability=0.25, duplicate=0.1))
+    text = sched.describe()
+    assert "x8" in text
+    assert "loss=0.25" in text and "dup=0.1" in text
+
+
+def test_random_chaos_reproducible():
+    targets = [f"zk:{i}" for i in range(5)]
+    a = RandomChaos(targets, duration=20.0, seed=7).schedule()
+    b = RandomChaos(targets, duration=20.0, seed=7).schedule()
+    assert a.events() == b.events()
+    c = RandomChaos(targets, duration=20.0, seed=8).schedule()
+    assert a.events() != c.events()
+    assert len(a) > 0
+
+
+def test_random_chaos_pairs_crash_with_recover():
+    sched = RandomChaos(["a", "b", "c"], duration=50.0, seed=1).schedule()
+    crashes = [s for s in sched if s.kind == "crash"]
+    recovers = [s for s in sched if s.kind == "recover"]
+    assert len(crashes) == len(recovers)
+    assert len(crashes) + len(recovers) == len(sched)
+
+
+def test_random_chaos_keeps_majority_alive():
+    targets = [f"zk:{i}" for i in range(5)]
+    sched = RandomChaos(targets, duration=100.0, seed=3, rate=2.0,
+                        mean_downtime=3.0).schedule()
+    # Replay the timeline: at most 2 of 5 targets down at once.
+    down = {}
+    for spec in sched.events():
+        if spec.kind == "crash":
+            down[spec.target[0]] = True
+        elif spec.kind == "recover":
+            down.pop(spec.target[0], None)
+        assert sum(down.values()) <= 2
+
+
+def test_random_chaos_needs_targets():
+    with pytest.raises(ValueError):
+        RandomChaos([], duration=10.0)

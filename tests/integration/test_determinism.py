@@ -38,3 +38,38 @@ def test_full_dufs_stack_deterministic():
     for phase in ALL_PHASES:
         assert a.phases[phase].duration == b.phases[phase].duration
         assert a.latency(phase).p99 == b.latency(phase).p99
+
+
+@pytest.mark.chaos
+def test_chaos_run_deterministic():
+    """Same seed + same schedule => byte-identical event traces, identical
+    op counts and stall gaps, and identical audit reports."""
+    from repro.chaos import run_chaos
+
+    a = run_chaos("dufs", ops=120, seed=5)
+    b = run_chaos("dufs", ops=120, seed=5)
+    assert a.trace == b.trace
+    assert a.completed == b.completed and a.failed == b.failed
+    assert a.max_stall == b.max_stall
+    assert a.audit.to_dict() == b.audit.to_dict()
+    assert a.summary() == b.summary()
+    # A different seed draws a different random schedule.
+    c = run_chaos("dufs", ops=120, seed=6)
+    assert c.trace != a.trace
+
+
+@pytest.mark.chaos
+def test_lossy_link_runs_deterministic():
+    """Probabilistic loss/duplication draws from a named stream: two runs
+    with the same seed drop and duplicate identically."""
+    from repro.chaos import ChaosSchedule, run_chaos
+
+    sched = (ChaosSchedule()
+             .drop(0.2, "*", "*", probability=0.05, duplicate=0.05)
+             .restore_link(1.2, "*", "*"))
+    a = run_chaos("dufs", schedule=sched, ops=120, seed=4)
+    b = run_chaos("dufs", schedule=sched, ops=120, seed=4)
+    assert a.trace == b.trace
+    assert a.completed == b.completed and a.failed == b.failed
+    assert a.max_stall == b.max_stall
+    assert a.audit.to_dict() == b.audit.to_dict()
