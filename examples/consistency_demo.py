@@ -80,8 +80,8 @@ def dufs_race():
         print(f"   [chaos] recovering zk{victim.sid}")
         victim.node.recover()
 
-    p1 = dep.client_nodes[0].spawn(creator())
-    p2 = dep.client_nodes[1].spawn(renamer())
+    dep.client_nodes[0].spawn(creator())
+    dep.client_nodes[1].spawn(renamer())
     dep.client_nodes[0].spawn(chaos())
     dep.cluster.sim.run(until=dep.cluster.sim.now + 5.0)
 

@@ -13,7 +13,6 @@ Run:  python examples/elastic_backends.py
 from collections import Counter
 
 from repro.core import build_dufs_deployment
-from repro.core.mapping import physical_path
 
 
 def main():

@@ -14,6 +14,7 @@ from .figures import (
     run_single_dir,
 )
 from .report import render_figure, render_headline
+from .trace_cli import run_trace
 
 __all__ = [
     "FigureResult",
@@ -21,5 +22,5 @@ __all__ = [
     "run_fig7", "run_fig8", "run_fig9", "run_fig10",
     "run_fig11", "run_headline_claims", "run_single_dir",
     "figure_to_csv", "write_figure_csv",
-    "render_figure", "render_headline",
+    "render_figure", "render_headline", "run_trace",
 ]

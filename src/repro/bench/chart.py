@@ -7,7 +7,7 @@ terminal, roughly as the paper's plots look.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from .figures import FigureResult
 
@@ -75,7 +75,6 @@ def render_panel(
             ylab = ""
         lines.append(f"{ylab:>{ylab_w}} |" + "".join(row))
     lines.append(" " * ylab_w + " +" + "-" * width)
-    xticks = " " * (ylab_w + 2)
     tick_positions = {0: str(int(xmin)), width - 1: str(int(xmax))}
     mid = width // 2
     tick_positions[mid] = str(int(xmin + xspan / 2))

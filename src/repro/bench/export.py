@@ -5,7 +5,6 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import Optional
 
 from .figures import FigureResult
 

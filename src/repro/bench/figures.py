@@ -17,11 +17,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.fs import build_dufs_deployment
 from ..models.memory import MemoryModel
-from ..models.params import LustreParams, SimParams, ZKParams
+from ..models.params import SimParams
 from ..pfs.lustre.fs import build_lustre
 from ..pfs.pvfs.fs import build_pvfs
 from ..sim.node import Cluster

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from .figures import FigureResult
 from .paper_data import TEXT_CLAIMS

@@ -1,0 +1,52 @@
+"""The ``repro trace`` subcommand: one traced mdtest run, full op metrics.
+
+Builds a DUFS deployment with the unified trace bus enabled, drives a
+small mdtest workload through it, and prints per-endpoint queue-wait /
+service-time / retry metrics for every layer — DUFS client entry points,
+the ZK client retry path, and every server endpoint (ZooKeeper and the
+back-end filesystems). ``--batch N`` turns on ZooKeeper leader-side write
+batching (``ZKParams.propose_batch_max``) so the group-commit win is
+directly visible in the create-phase throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from ..core.fs import build_dufs_deployment
+from ..models.params import SimParams
+from ..workloads.mdtest import MdtestConfig, run_mdtest
+
+_SCALES = {
+    # scale -> (n_zk, n_backends, n_client_nodes, n_procs, items_per_proc)
+    "quick": (3, 2, 4, 8, 20),
+    "medium": (8, 2, 8, 32, 40),
+    "full": (8, 4, 8, 64, 100),
+}
+
+
+def run_trace(scale: str = "quick", backend: str = "local",
+              batch: int = 1, seed: int = 0,
+              phases: Optional[tuple] = None) -> str:
+    """Run one traced mdtest and return the formatted report."""
+    n_zk, n_backends, n_clients, n_procs, items = _SCALES[scale]
+    params = SimParams()
+    if batch > 1:
+        params = params.with_overrides(
+            zk=replace(params.zk, propose_batch_max=batch))
+    dep = build_dufs_deployment(n_zk=n_zk, n_backends=n_backends,
+                                n_client_nodes=n_clients, backend=backend,
+                                params=params, seed=seed, trace=True)
+    cfg = MdtestConfig(n_procs=n_procs, items_per_proc=items,
+                       phases=phases or ("dir_create", "dir_stat",
+                                         "dir_remove"))
+    result = run_mdtest(dep.cluster, dep.mount_for, dep.node_for, cfg)
+
+    lines = [f"traced mdtest: backend={backend} scale={scale} "
+             f"zk={n_zk} procs={n_procs} items/proc={items} "
+             f"propose_batch_max={max(1, batch)}", ""]
+    for name, phase in result.phases.items():
+        lines.append(f"  {name:<12s} {phase.throughput:10.1f} ops/s")
+    lines += ["", dep.bus.table()]
+    return "\n".join(lines)

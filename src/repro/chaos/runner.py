@@ -25,7 +25,7 @@ from typing import Callable, List, Optional
 
 from ..errors import FSError
 from ..models.params import LustreParams, PVFSParams, SimParams, ZKParams
-from ..sim.node import Cluster, Node
+from ..sim.node import Cluster
 from .audit import AuditReport, audit_dufs
 from .engine import ChaosEngine
 from .schedule import ChaosSchedule, FaultSpec, RandomChaos

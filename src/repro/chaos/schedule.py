@@ -14,7 +14,7 @@ schedule, never perturbing any other stream's draws.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..sim.random import RandomStreams

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro fig7 [--scale quick|medium|full] [--seed N]
     python -m repro fig8 | fig9 | fig10 | fig11 | claims | ablations
+    python -m repro trace [--backend local|lustre|pvfs] [--batch N]
     python -m repro all --scale medium
 """
 
@@ -46,9 +47,10 @@ def main(argv=None) -> int:
                     "Metadata Service Layer benefit Parallel Filesystems?' "
                     "(CLUSTER 2011) on the simulated cluster.")
     parser.add_argument("target",
-                        choices=[*RUNNERS, "claims", "chaos", "all"],
+                        choices=[*RUNNERS, "claims", "chaos", "trace", "all"],
                         help="which figure/table to regenerate "
-                             "(or 'chaos': a fault-injection run)")
+                             "(or 'chaos': a fault-injection run; 'trace': "
+                             "a traced mdtest with per-endpoint op metrics)")
     parser.add_argument("--scale", default="quick",
                         choices=("quick", "medium", "full"),
                         help="sweep size: quick (seconds), medium, or full "
@@ -63,6 +65,12 @@ def main(argv=None) -> int:
                         help="chaos target deployment (chaos only)")
     parser.add_argument("--ops", type=int, default=400,
                         help="chaos op-stream length (chaos only)")
+    parser.add_argument("--backend", default="local",
+                        choices=("local", "lustre", "pvfs"),
+                        help="DUFS back-end filesystem (trace only)")
+    parser.add_argument("--batch", type=int, default=1,
+                        help="ZooKeeper leader write-batch size; >1 enables "
+                             "proposal coalescing (trace only)")
     args = parser.parse_args(argv)
 
     targets = list(RUNNERS) + ["claims"] if args.target == "all" \
@@ -72,6 +80,10 @@ def main(argv=None) -> int:
             from .chaos import run_chaos
             result = run_chaos(args.deployment, seed=args.seed, ops=args.ops)
             print(result.summary())
+        elif target == "trace":
+            from .bench.trace_cli import run_trace
+            print(run_trace(scale=args.scale, backend=args.backend,
+                            batch=args.batch, seed=args.seed))
         elif target == "claims":
             scale = args.scale if args.scale != "quick" else "medium"
             print(render_headline(run_headline_claims(scale=scale,

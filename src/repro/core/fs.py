@@ -9,8 +9,8 @@ dedicated server nodes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Generator, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
 
 from ..fuse.mount import FuseMount
 from ..fuse.ops import OperationTable
@@ -19,10 +19,16 @@ from ..pfs.localfs import LocalFS
 from ..pfs.lustre.fs import build_lustre
 from ..pfs.pvfs.fs import build_pvfs
 from ..sim.node import Cluster, Node
+from ..svc import TraceBus, instrument_client
 from ..zk.client import _UNSET, ZKClient
 from ..zk.ensemble import ZKEnsemble, build_ensemble
 from .client import DUFSClient
 from .mapping import MappingFunction
+
+#: DUFS client entry points published on the deployment's trace bus (the
+#: VFS-facing surface, matching what mdtest exercises through FUSE).
+TRACED_CLIENT_OPS = ("mkdir", "rmdir", "readdir", "stat", "create", "unlink",
+                     "rename", "chmod", "symlink", "readlink", "statfs")
 
 
 @dataclass
@@ -37,6 +43,7 @@ class DUFSDeployment:
     clients: List[DUFSClient]           # one per client node
     mounts: List[FuseMount]             # FUSE wrapper per client node
     zk_clients: List[ZKClient]
+    bus: Optional[TraceBus] = None      # unified per-op trace bus
 
     def mount_for(self, process_index: int) -> FuseMount:
         """The FUSE mount a given client process uses (processes are
@@ -57,16 +64,17 @@ class DUFSDeployment:
 
 
 def _build_backends(cluster: Cluster, kind: str, n_backends: int,
-                    params: SimParams, n_oss: int, pvfs_servers: int):
+                    params: SimParams, n_oss: int, pvfs_servers: int,
+                    bus: Optional[TraceBus] = None):
     backends = []
     for b in range(n_backends):
         if kind == "lustre":
             backends.append(build_lustre(cluster, f"lustre{b}", n_oss=n_oss,
-                                         params=params.lustre))
+                                         params=params.lustre, bus=bus))
         elif kind == "pvfs":
             backends.append(build_pvfs(cluster, f"pvfs{b}",
                                        n_servers=pvfs_servers,
-                                       params=params.pvfs))
+                                       params=params.pvfs, bus=bus))
         elif kind == "local":
             node = cluster.add_node(f"local{b}", cores=params.node_cores)
             backends.append(LocalFS(node))
@@ -89,6 +97,8 @@ def build_dufs_deployment(
     zk_request_timeout: Any = _UNSET,
     zk_max_retries: Any = _UNSET,
     fault: Optional[FaultToleranceParams] = None,
+    bus: Optional[TraceBus] = None,
+    trace: bool = False,
 ) -> DUFSDeployment:
     """Wire up a complete DUFS installation on a fresh simulated cluster.
 
@@ -102,9 +112,19 @@ def build_dufs_deployment(
     re-establishment), so a lost message or crashed server can no longer
     hang a deployment. ``zk_request_timeout`` / ``zk_max_retries`` remain
     as explicit per-deployment overrides of that policy.
+
+    Tracing: pass ``trace=True`` (or an explicit ``bus``) to collect
+    per-op queue-wait / service-time metrics from every endpoint — the ZK
+    servers, the back-end servers, the ZK client retry path, and the DUFS
+    client entry points — on one :class:`~repro.svc.TraceBus`
+    (``deployment.bus``). Recording is pure bookkeeping: it adds no
+    simulator events, so traced and untraced runs are event-for-event
+    identical.
     """
     params = params or SimParams()
     fault = fault or params.fault
+    if bus is None and trace:
+        bus = TraceBus()
     cluster = Cluster(seed=seed if seed else params.seed)
     client_nodes = [cluster.add_node(f"client{i}", cores=params.node_cores)
                     for i in range(n_client_nodes)]
@@ -113,9 +133,11 @@ def build_dufs_deployment(
     else:
         zk_nodes = [cluster.add_node(f"zknode{i}", cores=params.node_cores)
                     for i in range(n_zk)]
-    ensemble = build_ensemble(cluster, zk_nodes, n_zk, params=params.zk)
+    ensemble = build_ensemble(cluster, zk_nodes, n_zk, params=params.zk,
+                              bus=bus)
     backends = _build_backends(cluster, backend, n_backends, params,
-                               n_oss_per_lustre, pvfs_servers_per_instance)
+                               n_oss_per_lustre, pvfs_servers_per_instance,
+                               bus=bus)
 
     clients, mounts, zk_clients = [], [], []
     for i, node in enumerate(client_nodes):
@@ -127,7 +149,7 @@ def build_dufs_deployment(
         zkc = ZKClient(node, ensemble.endpoints, prefer=prefer,
                        request_timeout=zk_request_timeout,
                        max_retries=zk_max_retries, name=f"dufszk{i}",
-                       fault=fault)
+                       fault=fault, bus=bus)
         backend_clients = [
             be.client(node) if backend != "local" else be.client()
             for be in backends
@@ -138,10 +160,14 @@ def build_dufs_deployment(
         # identical seeds produce identical FIDs and placements.
         dufs = DUFSClient(node, zkc, backend_clients, params=params.dufs,
                           mapping=mapping, client_id=0x5EED0000 + i)
+        if bus is not None:
+            instrument_client(dufs, TRACED_CLIENT_OPS, bus,
+                              deployment="dufs", endpoint=f"dufs{i}",
+                              retries_of=lambda z=zkc: z.last_retries)
         mount = FuseMount(node, OperationTable.from_client(dufs),
                           params=params.fuse, name=f"dufs{i}")
         clients.append(dufs)
         mounts.append(mount)
         zk_clients.append(zkc)
     return DUFSDeployment(cluster, params, client_nodes, ensemble, backends,
-                          clients, mounts, zk_clients)
+                          clients, mounts, zk_clients, bus=bus)

@@ -16,7 +16,7 @@ is preserved verbatim by :func:`split_hex`.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..hashing.consistent import ConsistentHashRing
 from ..hashing.md5 import md5_int

@@ -16,7 +16,6 @@ batching).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 
 @dataclass
@@ -65,6 +64,12 @@ class ZKParams:
     apply_cpu: float = 60e-6           # apply committed txn to the tree
     log_delay: float = 350e-6          # group-committed fsync latency (pipelined)
     log_batch_max: int = 64            # max txns covered by one fsync
+    # Leader-side write batching: up to this many validated proposals are
+    # coalesced into ONE marshalled PROPOSE stream per follower (one quorum
+    # round amortizes the per-follower CPU across the batch). 1 = off —
+    # every write pays the full per-follower cost inline, byte-identical
+    # to the unbatched pipeline.
+    propose_batch_max: int = 1
     forward_cpu: float = 40e-6         # follower forwards a write to leader
     session_cpu: float = 100e-6
 

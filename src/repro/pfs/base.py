@@ -10,7 +10,7 @@ POSIX errno — the same contract a FUSE operation table has.
 from __future__ import annotations
 
 import stat as statmod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator, List, Protocol
 
 S_IFDIR = statmod.S_IFDIR

@@ -12,7 +12,7 @@ from __future__ import annotations
 import itertools
 from typing import Generator, Tuple
 
-from ...errors import EIO, ENOENT, ENOTDIR, FSError
+from ...errors import EIO, FSError
 from ...sim.node import Node
 from ...sim.rpc import RpcAgent
 from ..base import normalize_path, path_components

@@ -12,7 +12,7 @@ throughput of metadata operations".
 from __future__ import annotations
 
 import zlib
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Dict, Generator, Optional, Tuple
 
 from ...errors import (
     EEXIST,
@@ -25,7 +25,8 @@ from ...errors import (
 from ...models.params import LustreParams
 from ...sim.node import Node
 from ...sim.resources import Resource
-from ...sim.rpc import Reply, RpcAgent
+from ...sim.rpc import Reply
+from ...svc import Service, TraceBus
 from ..base import DEFAULT_DIR_MODE, S_IFDIR, S_IFREG, DirEntry, StatResult
 
 
@@ -48,14 +49,17 @@ class _Dirent:
 class GlobalLockServer:
     """The CMD design's global lock: one resource, cluster-wide."""
 
-    def __init__(self, node: Node, endpoint: str, params: LustreParams):
+    def __init__(self, node: Node, endpoint: str, params: LustreParams,
+                 bus: Optional[TraceBus] = None):
         self.node = node
         self.sim = node.sim
         self.params = params
         self.lock = Resource(self.sim, 1)
-        self.agent = RpcAgent(node, endpoint)
-        self.agent.register("acquire", self._h_acquire)
-        self.agent.register_fast("release", self._f_release)
+        self.svc = Service(node, endpoint, deployment="cmd", bus=bus)
+        self.agent = self.svc.agent
+        self.svc.expose("acquire", self._h_acquire,
+                        cost=params.lock_grant_cpu)
+        self.svc.expose_fast("release", self._f_release)
         self._held: Dict[int, object] = {}
         self._next_token = 0
         self.stats = {"acquisitions": 0}
@@ -80,7 +84,7 @@ class CMDServer:
     """One clustered-MDS member: owns the directories that hash to it."""
 
     def __init__(self, node: Node, endpoint: str, index: int, n_servers: int,
-                 params: LustreParams):
+                 params: LustreParams, bus: Optional[TraceBus] = None):
         self.node = node
         self.sim = node.sim
         self.endpoint = endpoint
@@ -91,20 +95,30 @@ class CMDServer:
         self.dirs: Dict[str, Dict[str, _Dirent]] = {}
         if index == owner_index("/", n_servers):
             self.dirs["/"] = {}
-        self.agent = RpcAgent(node, endpoint)
         self.stats = {"ops": 0}
-        a = self.agent
-        for m in ("lookup", "getattr_entry", "insert", "remove",
-                  "adopt_dir", "drop_dir", "readdir", "set_mode",
-                  "set_size"):
-            a.register(m, getattr(self, f"_h_{m}"))
+        self.svc = s = Service(node, endpoint, deployment="cmd", bus=bus,
+                               op_stats=self.stats)
+        self.agent = self.svc.agent
+        p = params
+        s.expose("lookup", self._h_lookup, cost=p.lookup_cpu)
+        s.expose("getattr_entry", self._h_getattr_entry, cost=p.getattr_cpu)
+        s.expose("readdir", self._h_readdir, cost=p.readdir_cpu_base)
+        s.expose("insert", self._h_insert, write=True, cost=p.create_cpu)
+        s.expose("remove", self._h_remove, write=True, cost=p.unlink_cpu)
+        s.expose("adopt_dir", self._h_adopt_dir, write=True,
+                 cost=p.mkdir_cpu * 0.5)
+        s.expose("drop_dir", self._h_drop_dir, write=True,
+                 cost=p.rmdir_cpu * 0.5)
+        s.expose("set_mode", self._h_set_mode, write=True,
+                 cost=p.setattr_cpu)
+        s.expose("set_size", self._h_set_size, write=True,
+                 cost=p.setattr_cpu)
 
     def _charge(self, cost: float) -> Generator:
         thrash = 1.0 + self.params.thrash_coef * \
             (len(self.node.cpu.queue) + len(self.node.cpu.users)) / \
             self.params.thrash_norm / self.n_servers
         yield from self.node.cpu_work(cost * thrash)
-        self.stats["ops"] += 1
 
     def _table(self, dirpath: str) -> Dict[str, _Dirent]:
         table = self.dirs.get(dirpath)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import itertools
 import zlib
-from typing import Dict, Generator, List, Optional, Set, Tuple
+from typing import Dict, Generator, List, Optional, Set
 
 from ...errors import EEXIST, EIO, ENOENT, FSError
 from ...models.params import PVFSParams

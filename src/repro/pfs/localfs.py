@@ -8,7 +8,7 @@ the Fig. 11 memory experiment and as a fast oracle in tests.
 
 from __future__ import annotations
 
-from typing import Generator, List
+from typing import Generator
 
 from ..errors import EACCES, FSError
 from ..sim.node import Node

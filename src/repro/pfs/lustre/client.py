@@ -11,7 +11,7 @@ updates.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Generator, Optional, Set, Tuple
+from typing import Dict, Generator, Set
 
 from ...errors import EIO, ENOENT, FSError
 from ...models.params import LustreParams
@@ -183,7 +183,7 @@ class LustreClient:
         return True
 
     def access(self, path: str, mode: int = 0) -> Generator:
-        st = yield from self.stat(path)
+        yield from self.stat(path)
         return True
 
     def symlink(self, target: str, linkpath: str) -> Generator:

@@ -12,6 +12,7 @@ from typing import Dict, List, Optional
 
 from ...models.params import LustreParams
 from ...sim.node import Cluster, Node
+from ...svc import TraceBus
 from .client import LustreClient
 from .mds import MetadataServer
 from .oss import ObjectStorageServer
@@ -20,15 +21,17 @@ from .oss import ObjectStorageServer
 class LustreFS:
     def __init__(self, cluster: Cluster, name: str, mds_node: Node,
                  oss_nodes: List[Node], params: Optional[LustreParams] = None,
-                 standby_node: Optional[Node] = None):
+                 standby_node: Optional[Node] = None,
+                 bus: Optional[TraceBus] = None):
         self.cluster = cluster
         self.name = name
         self.params = params or LustreParams()
+        self.bus = bus
         self.mds_endpoint = f"{name}-mds"
         self.oss_endpoints = [f"{name}-oss{i}" for i in range(len(oss_nodes))]
         self.mds = MetadataServer(mds_node, self.mds_endpoint, self.params,
-                                  len(oss_nodes), self.oss_endpoints)
-        self.oss = [ObjectStorageServer(node, ep, self.params)
+                                  len(oss_nodes), self.oss_endpoints, bus=bus)
+        self.oss = [ObjectStorageServer(node, ep, self.params, bus=bus)
                     for node, ep in zip(oss_nodes, self.oss_endpoints)]
         self.standby_node = standby_node
         self._failover_count = 0
@@ -62,7 +65,8 @@ class LustreFS:
             yield self.cluster.sim.timeout(self.params.failover_takeover_delay)
             self.mds = MetadataServer(self.standby_node, new_endpoint,
                                       self.params, len(self.oss_endpoints),
-                                      self.oss_endpoints, ns=old.ns)
+                                      self.oss_endpoints, ns=old.ns,
+                                      bus=self.bus)
             self.mds_endpoint = new_endpoint
             for cli in self._clients.values():
                 cli.on_mds_failover(new_endpoint)
@@ -77,6 +81,7 @@ def build_lustre(
     params: Optional[LustreParams] = None,
     mds_cores: Optional[int] = None,
     with_standby: bool = False,
+    bus: Optional[TraceBus] = None,
 ) -> LustreFS:
     params = params or LustreParams()
     mds_node = cluster.add_node(f"{name}-mdsnode",
@@ -87,4 +92,4 @@ def build_lustre(
                                cores=mds_cores or params.mds_cores) \
         if with_standby else None
     return LustreFS(cluster, name, mds_node, oss_nodes, params,
-                    standby_node=standby)
+                    standby_node=standby, bus=bus)

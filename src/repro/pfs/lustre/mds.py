@@ -20,12 +20,13 @@ from __future__ import annotations
 import math
 from typing import Generator, List, Optional, Tuple
 
-from ...errors import ENOENT, ENOTDIR, FSError
+from ...errors import ENOENT, FSError
 from ...models.params import LustreParams
-from ...sim.core import AllOf, Event
+from ...sim.core import AllOf
 from ...sim.node import Node
 from ...sim.resources import Resource
-from ...sim.rpc import Reply, RpcAgent
+from ...sim.rpc import Reply
+from ...svc import Service, TraceBus
 from ..namespace import Namespace
 from .dlm import LockManager
 
@@ -33,7 +34,8 @@ from .dlm import LockManager
 class MetadataServer:
     def __init__(self, node: Node, endpoint: str, params: LustreParams,
                  n_oss: int, oss_endpoints: List[str],
-                 ns: Optional[Namespace] = None):
+                 ns: Optional[Namespace] = None,
+                 bus: Optional[TraceBus] = None):
         self.node = node
         self.sim = node.sim
         self.endpoint = endpoint
@@ -44,7 +46,6 @@ class MetadataServer:
         # a failover attaches to the same (shared-disk) namespace.
         self.ns = ns if ns is not None else Namespace()
         self.dlm = LockManager()
-        self.agent = RpcAgent(node, endpoint)
         self._next_object = 0
         self._next_revoke_token = 0
         self._pending_cancels: dict = {}   # token -> Event
@@ -52,32 +53,31 @@ class MetadataServer:
         # parallel dirops — concurrent creates in ONE directory serialize).
         self._dir_mutexes: dict = {}
         self.stats = {"ops": 0, "revoke_waits": 0}
-        self._active_requests = 0
-        a = self.agent
-        for method in ("lookup", "getattr", "mkdir", "rmdir", "create",
-                       "unlink", "readdir", "rename", "setattr", "symlink",
-                       "readlink", "statfs"):
-            a.register(method, self._counted(getattr(self, f"_h_{method}")))
-        a.register_fast("lock_cancel", self._f_lock_cancel)
-
-    def _counted(self, handler):
-        """Track in-flight requests: the thrash model keys off the depth
-        of the whole service queue (CPU + dir mutexes + lock callbacks),
-        like the real server's thread pool does."""
-
-        def wrapper(src, args):
-            self._active_requests += 1
-            try:
-                result = yield from handler(src, args)
-                return result
-            finally:
-                self._active_requests -= 1
-
-        return wrapper
+        # The kernel counts every completion (into stats["ops"]) and tracks
+        # in-flight depth, which the thrash model keys off: the depth of
+        # the whole service queue (CPU + dir mutexes + lock callbacks),
+        # like the real server's thread pool.
+        self.svc = s = Service(node, endpoint, deployment="lustre", bus=bus,
+                               op_stats=self.stats)
+        self.agent = self.svc.agent
+        p = params
+        s.expose("lookup", self._h_lookup, cost=p.lookup_cpu)
+        s.expose("getattr", self._h_getattr, cost=p.getattr_cpu)
+        s.expose("readdir", self._h_readdir, cost=p.readdir_cpu_base)
+        s.expose("readlink", self._h_readlink, cost=p.lookup_cpu)
+        s.expose("statfs", self._h_statfs, cost=p.getattr_cpu)
+        s.expose("mkdir", self._h_mkdir, write=True, cost=p.mkdir_cpu)
+        s.expose("rmdir", self._h_rmdir, write=True, cost=p.rmdir_cpu)
+        s.expose("create", self._h_create, write=True, cost=p.create_cpu)
+        s.expose("unlink", self._h_unlink, write=True, cost=p.unlink_cpu)
+        s.expose("rename", self._h_rename, write=True, cost=p.rename_cpu)
+        s.expose("setattr", self._h_setattr, write=True, cost=p.setattr_cpu)
+        s.expose("symlink", self._h_symlink, write=True, cost=p.create_cpu)
+        s.expose_fast("lock_cancel", self._f_lock_cancel)
 
     # -- cost model -------------------------------------------------------
     def _inflight(self) -> int:
-        return self._active_requests
+        return self.svc.inflight
 
     def _charge(self, base: float, dir_entries: int = 0,
                 read: bool = False) -> Generator:
@@ -93,7 +93,6 @@ class MetadataServer:
         coef = p.thrash_read_coef if read else p.thrash_coef
         thrash = 1.0 + coef * self._inflight() / p.thrash_norm
         yield from self.node.cpu_work(cost * thrash)
-        self.stats["ops"] += 1
 
     def _parent_entries(self, path: str) -> int:
         try:

@@ -7,27 +7,35 @@ object precreate/destroy casts from the MDS.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Tuple
+from typing import Dict, Generator, Optional, Tuple
 
 from ...errors import ENOENT, FSError
 from ...models.params import LustreParams
 from ...sim.node import Node
-from ...sim.rpc import Reply, RpcAgent
+from ...sim.rpc import Reply
+from ...svc import Service, TraceBus
 
 
 class ObjectStorageServer:
-    def __init__(self, node: Node, endpoint: str, params: LustreParams):
+    def __init__(self, node: Node, endpoint: str, params: LustreParams,
+                 bus: Optional[TraceBus] = None):
         self.node = node
         self.endpoint = endpoint
         self.params = params
         self.objects: Dict[int, int] = {}   # object id -> size
-        self.agent = RpcAgent(node, endpoint)
-        self.agent.register("glimpse", self._h_glimpse)
-        self.agent.register("punch", self._h_punch)
-        self.agent.register("write", self._h_write)
-        self.agent.register("read", self._h_read)
-        self.agent.register("precreate", self._h_precreate)
-        self.agent.register("destroy", self._h_destroy)
+        self.svc = s = Service(node, endpoint, deployment="lustre", bus=bus)
+        self.agent = self.svc.agent
+        p = params
+        s.expose("glimpse", self._h_glimpse, cost=p.glimpse_cpu)
+        s.expose("punch", self._h_punch, write=True,
+                 cost=p.object_create_cpu)
+        s.expose("write", self._h_write, write=True,
+                 cost=p.object_create_cpu)
+        s.expose("read", self._h_read, cost=p.object_create_cpu)
+        s.expose("precreate", self._h_precreate, write=True,
+                 cost=p.object_create_cpu)
+        s.expose("destroy", self._h_destroy, write=True,
+                 cost=p.object_destroy_cpu)
 
     def _h_precreate(self, src: str, object_id: int) -> Generator:
         yield from self.node.cpu_work(self.params.object_create_cpu)

@@ -23,7 +23,6 @@ from ..errors import (
 )
 from .base import (
     DEFAULT_DIR_MODE,
-    DEFAULT_FILE_MODE,
     S_IFDIR,
     S_IFLNK,
     S_IFREG,

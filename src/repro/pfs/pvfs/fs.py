@@ -6,19 +6,22 @@ from typing import Dict, List, Optional
 
 from ...models.params import PVFSParams
 from ...sim.node import Cluster, Node
+from ...svc import TraceBus
 from .client import PVFSClient
 from .server import DIR_T, PVFSServer, _Obj
 
 
 class PVFSFS:
     def __init__(self, cluster: Cluster, name: str, server_nodes: List[Node],
-                 params: Optional[PVFSParams] = None):
+                 params: Optional[PVFSParams] = None,
+                 bus: Optional[TraceBus] = None):
         self.cluster = cluster
         self.name = name
         self.params = params or PVFSParams()
+        self.bus = bus
         self.server_endpoints = [f"{name}-srv{i}"
                                  for i in range(len(server_nodes))]
-        self.servers = [PVFSServer(node, ep, i, self.params)
+        self.servers = [PVFSServer(node, ep, i, self.params, bus=bus)
                         for i, (node, ep) in
                         enumerate(zip(server_nodes, self.server_endpoints))]
         # Root directory lives on server 0.
@@ -43,8 +46,9 @@ def build_pvfs(
     name: str = "pvfs",
     n_servers: Optional[int] = None,
     params: Optional[PVFSParams] = None,
+    bus: Optional[TraceBus] = None,
 ) -> PVFSFS:
     params = params or PVFSParams()
     n = n_servers if n_servers is not None else params.n_servers
     nodes = [cluster.add_node(f"{name}-srvnode{i}") for i in range(n)]
-    return PVFSFS(cluster, name, nodes, params)
+    return PVFSFS(cluster, name, nodes, params, bus=bus)

@@ -8,15 +8,13 @@ PVFS2 metadata writes. Request processing parallelism is limited
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Dict, Generator, List, Optional, Tuple
 
-from ...errors import EEXIST, EISDIR, ENOENT, ENOTDIR, ENOTEMPTY, FSError
+from ...errors import EEXIST, ENOENT, ENOTDIR, ENOTEMPTY, FSError
 from ...models.params import PVFSParams
-from ...sim.core import Event, Interrupt
 from ...sim.node import Node
-from ...sim.resources import Resource, Store
-from ...sim.rpc import Reply, RpcAgent
+from ...sim.rpc import Reply
+from ...svc import Batcher, BoundedAdmission, Service, TraceBus
 
 DIR_T = "dir"
 META_T = "meta"
@@ -40,7 +38,7 @@ class _Obj:
 
 class PVFSServer:
     def __init__(self, node: Node, endpoint: str, index: int,
-                 params: PVFSParams):
+                 params: PVFSParams, bus: Optional[TraceBus] = None):
         self.node = node
         self.sim = node.sim
         self.endpoint = endpoint
@@ -48,22 +46,43 @@ class PVFSServer:
         self.params = params
         self.objects: Dict[int, _Obj] = {}
         self._next_handle = (index << 48) + 1
-        # Bounded request parallelism, separate from node cores.
-        self.workers = Resource(self.sim, params.server_cores)
-        # Group-committed sync txns.
-        self._txn_queue: deque[Event] = deque()
-        self._txn_kick = Store(self.sim)
-        node.spawn(self._txn_loop(), f"{endpoint}.txn")
+        # Bounded request-processing parallelism, separate from node cores.
+        # The gate covers only the CPU phase (the event-loop model: a
+        # request never holds a slot while waiting on trove), so it is
+        # taken inside :meth:`_work` rather than as the Service admission
+        # policy, which would pin slots across the sync-txn disk wait.
+        self.workers = BoundedAdmission(self.sim, params.server_cores)
+        # Group-committed sync txns (trove/dbpf + fdatasync).
+        self._txn = Batcher(node, f"{endpoint}.txn", self._flush_txns,
+                            max_batch=params.disk_batch_max)
         node.on_crash(self._on_crash)
         node.on_recover(self._on_recover)
-        self.agent = RpcAgent(node, endpoint)
         self.stats = {"ops": 0, "txns": 0}
-        a = self.agent
-        for method in ("lookup", "getattr", "mkdir", "crdirent", "rmdirent",
-                       "create_meta", "create_dfile", "remove_obj", "readdir",
-                       "setattr", "dfile_size", "symlink_obj", "readlink",
-                       "truncate_dfile"):
-            a.register(method, getattr(self, f"_h_{method}"))
+        self.svc = s = Service(node, endpoint, deployment="pvfs", bus=bus,
+                               op_stats=self.stats)
+        self.agent = self.svc.agent
+        p = params
+        s.expose("lookup", self._h_lookup, cost=p.lookup_cpu)
+        s.expose("getattr", self._h_getattr, cost=p.getattr_cpu)
+        s.expose("readdir", self._h_readdir, cost=p.readdir_cpu_base)
+        s.expose("readlink", self._h_readlink, cost=p.getattr_cpu)
+        s.expose("dfile_size", self._h_dfile_size, cost=p.getattr_dfile_cpu)
+        s.expose("mkdir", self._h_mkdir, write=True, cost=p.mkdir_cpu)
+        s.expose("crdirent", self._h_crdirent, write=True,
+                 cost=p.crdirent_cpu)
+        s.expose("rmdirent", self._h_rmdirent, write=True,
+                 cost=p.crdirent_cpu)
+        s.expose("create_meta", self._h_create_meta, write=True,
+                 cost=p.create_meta_cpu)
+        s.expose("create_dfile", self._h_create_dfile, write=True,
+                 cost=p.create_dfile_cpu)
+        s.expose("remove_obj", self._h_remove_obj, write=True,
+                 cost=p.remove_cpu)
+        s.expose("setattr", self._h_setattr, write=True, cost=p.setattr_cpu)
+        s.expose("symlink_obj", self._h_symlink_obj, write=True,
+                 cost=p.create_meta_cpu)
+        s.expose("truncate_dfile", self._h_truncate_dfile, write=True,
+                 cost=p.setattr_cpu)
 
     # -- infrastructure -----------------------------------------------------
     def alloc_handle(self) -> int:
@@ -73,52 +92,35 @@ class PVFSServer:
 
     def _work(self, cpu: float) -> Generator:
         """Request processing under bounded server parallelism."""
-        req = self.workers.request()
+        req = self.workers.admit("work")
         try:
             yield req
             yield from self.node.cpu_work(cpu)
         finally:
             self.workers.release(req)
-        self.stats["ops"] += 1
 
     def _sync_txn(self) -> Generator:
         """Wait until this mutation's group-committed fdatasync completes."""
         done = self.sim.event()
-        self._txn_queue.append(done)
-        self._txn_kick.put(True)
+        self._txn.submit(done)
         yield done
 
-    def _txn_loop(self) -> Generator:
-        try:
-            yield from self._txn_body()
-        except Interrupt:
-            return
-
-    def _txn_body(self) -> Generator:
-        while True:
-            got = yield self._txn_kick.get()
-            if got is None:
-                return
-            while self._txn_queue:
-                batch = []
-                while self._txn_queue and len(batch) < self.params.disk_batch_max:
-                    batch.append(self._txn_queue.popleft())
-                yield from self.node.disk_io(self.params.disk_txn)
-                self.stats["txns"] += 1
-                for ev in batch:
-                    if not ev.triggered:
-                        ev.succeed()
+    def _flush_txns(self, batch: List) -> Generator:
+        yield from self.node.disk_io(self.params.disk_txn)
+        self.stats["txns"] += 1
+        for ev in batch:
+            if not ev.triggered:
+                ev.succeed()
 
     def _on_crash(self) -> None:
         # In-flight (un-synced) transactions die with the server; their
         # requesters were interrupted or will time out.
-        self._txn_queue.clear()
+        self._txn.clear()
 
     def _on_recover(self) -> None:
         # Fresh kick store + txn loop, so a recovered server serves
         # mutations again (objects/handles persist: trove is on disk).
-        self._txn_kick = Store(self.sim)
-        self.node.spawn(self._txn_loop(), f"{self.endpoint}.txn")
+        self._txn.restart()
 
     def _get(self, handle: int) -> _Obj:
         obj = self.objects.get(handle)

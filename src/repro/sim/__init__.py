@@ -17,7 +17,15 @@ from .node import Cluster, Node
 from .random import RandomStreams
 from .resources import PriorityResource, Request, Resource, Store
 from .rpc import Reply, RemoteError, RpcAgent, RpcTimeout
-from .stats import Counter, LatencyRecorder, LatencySummary, OpLog, ThroughputWindow
+from .stats import (
+    Counter,
+    Histogram,
+    LatencyRecorder,
+    LatencySummary,
+    OpLog,
+    ThroughputWindow,
+    percentile,
+)
 
 __all__ = [
     "AllOf", "AnyOf", "Condition", "EmptySchedule", "Event", "Interrupt",
@@ -27,5 +35,6 @@ __all__ = [
     "RandomStreams",
     "PriorityResource", "Request", "Resource", "Store",
     "Reply", "RemoteError", "RpcAgent", "RpcTimeout",
-    "Counter", "LatencyRecorder", "LatencySummary", "OpLog", "ThroughputWindow",
+    "Counter", "Histogram", "LatencyRecorder", "LatencySummary", "OpLog",
+    "ThroughputWindow", "percentile",
 ]

@@ -17,7 +17,7 @@ allocation-light): events use ``__slots__``, the scheduler is a plain
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Generator, Iterable, Optional
 
 _PENDING = object()
 

@@ -11,8 +11,8 @@ Messages between co-located endpoints (same node name) use loopback cost.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from dataclasses import dataclass
+from typing import Any, Optional
 
 from .core import Simulator
 from .resources import Store

@@ -10,9 +10,9 @@ failure injector can crash and recover the whole machine.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, Optional
+from typing import Callable, Dict, Generator, Optional
 
-from .core import Interrupt, Process, Simulator
+from .core import Process, Simulator
 from .network import Network
 from .random import RandomStreams
 from .resources import Resource

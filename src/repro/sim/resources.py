@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Any, Optional
+from typing import Any
 
 from .core import Event, Simulator
 

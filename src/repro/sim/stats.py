@@ -4,8 +4,8 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 
 class Counter:
@@ -38,6 +38,55 @@ class LatencySummary:
                 f"p50={self.p50 * 1e3:.3f}ms p99={self.p99 * 1e3:.3f}ms")
 
 
+def percentile(sorted_xs: Sequence[float], p: float) -> float:
+    """Percentile with linear interpolation between closest ranks.
+
+    ``p`` in [0, 1]; ``sorted_xs`` must be non-empty and ascending. On a
+    small sample this lands between observations instead of truncating to
+    the nearest lower index (the old behaviour made p50 of [1, 2] report 1
+    and p99 collapse onto the max for n < 100).
+    """
+    n = len(sorted_xs)
+    if n == 1:
+        return sorted_xs[0]
+    rank = p * (n - 1)
+    lo = int(math.floor(rank))
+    hi = min(lo + 1, n - 1)
+    frac = rank - lo
+    return sorted_xs[lo] + (sorted_xs[hi] - sorted_xs[lo]) * frac
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram: ``counts[i]`` holds samples in
+    ``(edges[i-1], edges[i]]`` (the first bucket is ``[0, edges[0]]``),
+    with one overflow bucket past the last edge."""
+
+    edges: List[float]
+    counts: List[int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        return {"edges": list(self.edges), "counts": list(self.counts)}
+
+    def render(self, width: int = 40) -> str:
+        peak = max(self.counts) if self.counts else 0
+        lines = []
+        labels = [f"<= {e * 1e3:9.3f}ms" for e in self.edges] + ["overflow   "]
+        for label, count in zip(labels, self.counts):
+            bar = "#" * (round(width * count / peak) if peak else 0)
+            lines.append(f"{label} {count:7d} {bar}")
+        return "\n".join(lines)
+
+
+def default_latency_edges() -> List[float]:
+    """Log-spaced bucket edges from 1 us to 10 s (half-decade steps)."""
+    return [1e-6 * 10 ** (i / 2) for i in range(15)]
+
+
 class LatencyRecorder:
     """Records per-op latencies keyed by op name; summarizes on demand."""
 
@@ -50,17 +99,38 @@ class LatencyRecorder:
     def keys(self) -> List[str]:
         return sorted(self._samples)
 
+    def samples(self, key: str) -> List[float]:
+        return list(self._samples.get(key, ()))
+
+    def count(self, key: str) -> int:
+        return len(self._samples.get(key, ()))
+
     def summary(self, key: str) -> Optional[LatencySummary]:
         xs = self._samples.get(key)
         if not xs:
             return None
         xs = sorted(xs)
         n = len(xs)
+        return LatencySummary(n, sum(xs) / n, percentile(xs, 0.50),
+                              percentile(xs, 0.95), percentile(xs, 0.99),
+                              xs[-1])
 
-        def pct(p: float) -> float:
-            return xs[min(n - 1, max(0, math.ceil(p * n) - 1))]
-
-        return LatencySummary(n, sum(xs) / n, pct(0.50), pct(0.95), pct(0.99), xs[-1])
+    def histogram(self, key: str,
+                  edges: Optional[Sequence[float]] = None
+                  ) -> Optional[Histogram]:
+        """Bucketed export of one key's samples (for the trace bus)."""
+        if key not in self._samples:
+            return None
+        edges = list(edges) if edges is not None else default_latency_edges()
+        counts = [0] * (len(edges) + 1)
+        for x in self._samples.get(key, ()):
+            for i, edge in enumerate(edges):
+                if x <= edge:
+                    counts[i] += 1
+                    break
+            else:
+                counts[-1] += 1
+        return Histogram(edges, counts)
 
 
 @dataclass

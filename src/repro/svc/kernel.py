@@ -1,0 +1,160 @@
+"""The service kernel: declarative RPC endpoints with unified accounting.
+
+Every server stack in the reproduction (ZooKeeper, Lustre MDS/OSS, PVFS,
+CMD) previously hand-rolled its own handler registration, in-flight
+accounting, and counting wrappers — and they disagreed about whether
+failed operations count. :class:`Service` centralizes that: handlers are
+registered with per-method metadata (:class:`OpSpec`), requests pass
+through a pluggable admission policy, and every completion — success,
+error, or interrupt — is counted once and published as an
+:class:`~repro.svc.trace.OpTrace` on the trace bus.
+
+With the default :class:`~repro.svc.queue.DirectAdmission` policy the
+instrumentation adds no simulator events, so a refactored server is
+event-for-event identical to its hand-rolled predecessor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, Optional
+
+from ..sim.node import Node
+from ..sim.rpc import DEFAULT_RESP_SIZE, RpcAgent
+from ..sim.stats import Counter
+from .queue import AdmissionPolicy, DirectAdmission
+from .trace import NULL_BUS, OpTrace, TraceBus
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Per-method metadata declared at registration time."""
+
+    method: str
+    write: bool = False            # mutates durable state
+    cost: float = 0.0              # nominal service demand (seconds)
+    resp_size: int = DEFAULT_RESP_SIZE
+
+
+class Service:
+    """One RPC endpoint bound to a node, with admission + tracing.
+
+    The underlying :class:`RpcAgent` stays available as ``.agent`` (and via
+    the :meth:`call`/:meth:`cast` delegates) for the server's own outgoing
+    traffic — a ZK leader streaming proposals, an MDS casting lock
+    revocations.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        endpoint: str,
+        deployment: str = "svc",
+        bus: Optional[TraceBus] = None,
+        policy: Optional[AdmissionPolicy] = None,
+        op_stats: Optional[dict] = None,
+    ):
+        self.node = node
+        self.sim = node.sim
+        self.endpoint = endpoint
+        self.deployment = deployment
+        self.bus = bus if bus is not None else NULL_BUS
+        self.policy = policy or DirectAdmission()
+        self.specs: Dict[str, OpSpec] = {}
+        self.inflight = 0              # admitted, not yet completed
+        self.completed = 0             # completions, success or not
+        self.op_counts = Counter()     # method -> completions
+        self.error_counts = Counter()  # method -> failed completions
+        # Legacy per-server stats dict: the kernel maintains its "ops" key
+        # so every stack counts requests identically (including failures).
+        self._op_stats = op_stats
+        self.agent = RpcAgent(node, endpoint)
+
+    # -- registration ------------------------------------------------------
+    def expose(self, method: str, handler: Callable, *, write: bool = False,
+               cost: float = 0.0,
+               resp_size: int = DEFAULT_RESP_SIZE) -> None:
+        """Register ``handler(src, args)`` (a generator function) under
+        admission control, counting, and tracing."""
+        self.specs[method] = OpSpec(method, write=write, cost=cost,
+                                    resp_size=resp_size)
+        self.agent.register(method, self._instrumented(method, handler))
+
+    def expose_fast(self, method: str, fn: Callable) -> None:
+        """Register an inline cast handler (no admission/trace: fast-path
+        bookkeeping like ZAB acks must not be queued or counted as ops)."""
+        self.agent.register_fast(method, fn)
+
+    # -- outgoing traffic --------------------------------------------------
+    def call(self, dst: str, method: str, args: Any = None, **kw) -> Generator:
+        return self.agent.call(dst, method, args, **kw)
+
+    def cast(self, dst: str, method: str, args: Any = None, **kw) -> None:
+        self.agent.cast(dst, method, args, **kw)
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return self.policy.depth
+
+    def write_methods(self) -> list:
+        return sorted(m for m, s in self.specs.items() if s.write)
+
+    # -- the one counted wrapper ------------------------------------------
+    def _instrumented(self, method: str, handler: Callable) -> Callable:
+        def wrapper(src: str, args: Any) -> Generator:
+            arrive = self.sim.now
+            token = self.policy.admit(method)
+            if token is not None:
+                yield token
+            start = self.sim.now
+            self.inflight += 1
+            ok = False
+            try:
+                result = yield from handler(src, args)
+                ok = True
+                return result
+            finally:
+                self.inflight -= 1
+                self.policy.release(token)
+                self.completed += 1
+                self.op_counts.inc(method)
+                if not ok:
+                    self.error_counts.inc(method)
+                if self._op_stats is not None:
+                    self._op_stats["ops"] = self._op_stats.get("ops", 0) + 1
+                self.bus.record(OpTrace(self.deployment, self.endpoint,
+                                        method, arrive, start, self.sim.now,
+                                        ok, src))
+
+        return wrapper
+
+
+def instrument_client(obj: Any, methods, bus: TraceBus, deployment: str,
+                      endpoint: str,
+                      retries_of: Optional[Callable[[], int]] = None) -> None:
+    """Put a client library's ops on the same trace bus as the servers.
+
+    Rebinds each named generator method of ``obj`` with a wrapper that
+    publishes an :class:`OpTrace` per call (client ops have no admission
+    queue, so ``arrive == start``); ``retries_of()`` is sampled after each
+    op to report the retry count of the client's fault-tolerance path.
+    """
+
+    def wrap(name: str, fn: Callable) -> Callable:
+        def traced(*args, **kwargs) -> Generator:
+            t0 = obj.sim.now
+            ok = False
+            try:
+                result = yield from fn(*args, **kwargs)
+                ok = True
+                return result
+            finally:
+                bus.record(OpTrace(deployment, endpoint, name, t0, t0,
+                                   obj.sim.now, ok,
+                                   retries=retries_of() if retries_of else 0))
+
+        return traced
+
+    for name in methods:
+        setattr(obj, name, wrap(name, getattr(obj, name)))

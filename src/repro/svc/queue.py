@@ -1,0 +1,105 @@
+"""Per-endpoint admission policies for the service kernel.
+
+A policy decides when an arrived request may begin service. ``admit()``
+returns ``None`` for immediate admission (no simulator interaction at all,
+so the direct policy is event-for-event identical to a bare
+:class:`~repro.sim.rpc.RpcAgent`) or an event the request process must
+yield before starting; ``release()`` hands the slot to the next waiter.
+
+Policies:
+
+- :class:`DirectAdmission` — unbounded; every request starts immediately
+  (what every server did before the kernel existed).
+- :class:`BoundedAdmission` — FIFO queue with at most ``capacity``
+  requests in service (λFS-style explicit request queues; PVFS's
+  event-loop ``server_cores`` limit).
+- :class:`PriorityAdmission` — bounded, but waiters are ordered by a
+  per-method priority (lower wins), so e.g. lock cancellations can
+  overtake bulk mutations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim.core import Simulator
+from ..sim.resources import PriorityResource, Request, Resource
+
+
+class AdmissionPolicy:
+    """Interface (and pass-through default) for admission policies."""
+
+    name = "direct"
+
+    def admit(self, method: str) -> Optional[Request]:
+        """None = start service now; else an event to yield first."""
+        return None
+
+    def release(self, token: Optional[Request]) -> None:
+        return
+
+    @property
+    def depth(self) -> int:
+        """Requests currently waiting for admission."""
+        return 0
+
+
+class DirectAdmission(AdmissionPolicy):
+    """Unbounded policy: admit everything instantly (pre-kernel behaviour)."""
+
+
+class BoundedAdmission(AdmissionPolicy):
+    """FIFO admission with a concurrency bound."""
+
+    name = "bounded"
+
+    def __init__(self, sim: Simulator, capacity: int):
+        self.resource = Resource(sim, capacity)
+
+    def admit(self, method: str) -> Optional[Request]:
+        return self.resource.request()
+
+    def release(self, token: Optional[Request]) -> None:
+        if token is not None:
+            self.resource.release(token)
+
+    @property
+    def depth(self) -> int:
+        return len(self.resource.queue)
+
+
+class PriorityAdmission(AdmissionPolicy):
+    """Bounded admission ordered by per-method priority (lower wins)."""
+
+    name = "priority"
+
+    def __init__(self, sim: Simulator, capacity: int,
+                 priority_of: Optional[Callable[[str], int]] = None):
+        self.resource = PriorityResource(sim, capacity)
+        self.priority_of = priority_of or (lambda method: 0)
+
+    def admit(self, method: str) -> Optional[Request]:
+        return self.resource.request(self.priority_of(method))
+
+    def release(self, token: Optional[Request]) -> None:
+        if token is not None:
+            self.resource.release(token)
+
+    @property
+    def depth(self) -> int:
+        return len(self.resource._pq)
+
+
+def make_policy(spec: str, sim: Simulator,
+                priority_of: Optional[Callable[[str], int]] = None):
+    """Build a policy from a config string: ``"direct"``, ``"bounded:N"``
+    or ``"priority:N"``."""
+    if spec in ("direct", "fifo", ""):
+        return DirectAdmission()
+    kind, _, arg = spec.partition(":")
+    capacity = int(arg) if arg else 1
+    if kind == "bounded":
+        return BoundedAdmission(sim, capacity)
+    if kind == "priority":
+        return PriorityAdmission(sim, capacity, priority_of)
+    raise ValueError(f"unknown admission policy {spec!r}")

@@ -1,0 +1,143 @@
+"""Structured per-op trace bus shared by every service endpoint.
+
+Each request served through the :class:`~repro.svc.kernel.Service` kernel
+publishes one :class:`OpTrace` — when it arrived, when the admission policy
+let it start, when it finished, and whether it succeeded — tagged by
+deployment, endpoint and method. The bus aggregates queue-wait and
+service-time distributions into :class:`~repro.sim.stats.LatencyRecorder`
+instances keyed ``deployment/endpoint.method``, which is what makes the
+paper's cross-deployment comparisons (Figs. 7/8) apples-to-apples: every
+server stack reports the same metrics through the same pipe.
+
+Recording is pure bookkeeping (no simulator events), so attaching a bus
+never perturbs the simulation: a run with tracing on is event-for-event
+identical to one with tracing off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..sim.stats import Counter, Histogram, LatencyRecorder
+
+
+@dataclass(frozen=True)
+class OpTrace:
+    """One served request, as published on the bus."""
+
+    deployment: str
+    endpoint: str
+    method: str
+    arrive: float              # request reached the endpoint
+    start: float               # admission granted; service began
+    end: float                 # response sent (or error marshalled)
+    ok: bool
+    src: str = ""              # caller endpoint
+    retries: int = 0           # client-side: attempts beyond the first
+
+    @property
+    def queue_wait(self) -> float:
+        return self.start - self.arrive
+
+    @property
+    def service(self) -> float:
+        return self.end - self.start
+
+    @property
+    def total(self) -> float:
+        return self.end - self.arrive
+
+    @property
+    def key(self) -> str:
+        return f"{self.deployment}/{self.endpoint}.{self.method}"
+
+
+class TraceBus:
+    """Aggregating sink for :class:`OpTrace` events.
+
+    By default only aggregates (counts + latency recorders) are kept;
+    ``keep_events=True`` additionally retains the raw event list, which the
+    determinism tests compare byte-for-byte and ``repro trace`` can dump.
+    """
+
+    def __init__(self, keep_events: bool = False):
+        self.ops = Counter()            # key -> completions (ok + error)
+        self.errors = Counter()         # key -> failed completions
+        self.retries = Counter()        # key -> client retry attempts
+        self.queue_wait = LatencyRecorder()
+        self.service = LatencyRecorder()
+        self.events: Optional[List[OpTrace]] = [] if keep_events else None
+        self._subscribers: List[Callable[[OpTrace], None]] = []
+
+    # -- recording ---------------------------------------------------------
+    def record(self, ev: OpTrace) -> None:
+        key = ev.key
+        self.ops.inc(key)
+        if not ev.ok:
+            self.errors.inc(key)
+        if ev.retries:
+            self.retries.inc(key, ev.retries)
+        self.queue_wait.record(key, ev.queue_wait)
+        self.service.record(key, ev.service)
+        if self.events is not None:
+            self.events.append(ev)
+        for fn in self._subscribers:
+            fn(ev)
+
+    def subscribe(self, fn: Callable[[OpTrace], None]) -> None:
+        self._subscribers.append(fn)
+
+    # -- export ------------------------------------------------------------
+    def keys(self) -> List[str]:
+        return sorted(self.ops.as_dict())
+
+    def histogram(self, key: str, which: str = "service",
+                  edges: Optional[Sequence[float]] = None) -> Histogram:
+        rec = self.service if which == "service" else self.queue_wait
+        return rec.histogram(key, edges=edges)
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        out: Dict[str, Dict[str, float]] = {}
+        for key in self.keys():
+            svc = self.service.summary(key)
+            qw = self.queue_wait.summary(key)
+            out[key] = {
+                "ops": self.ops.get(key),
+                "errors": self.errors.get(key),
+                "retries": self.retries.get(key),
+                "queue_wait_mean": qw.mean if qw else 0.0,
+                "queue_wait_p95": qw.p95 if qw else 0.0,
+                "service_mean": svc.mean if svc else 0.0,
+                "service_p95": svc.p95 if svc else 0.0,
+            }
+        return out
+
+    def table(self) -> str:
+        """Human-readable per-endpoint/method metric table."""
+        header = (f"{'endpoint.method':<42} {'ops':>7} {'err':>5} "
+                  f"{'retry':>5} {'qwait(ms)':>10} {'svc(ms)':>9} "
+                  f"{'p95(ms)':>9}")
+        lines = [header, "-" * len(header)]
+        for key, row in self.as_dict().items():
+            lines.append(
+                f"{key:<42} {row['ops']:>7} {row['errors']:>5} "
+                f"{row['retries']:>5} {row['queue_wait_mean'] * 1e3:>10.3f} "
+                f"{row['service_mean'] * 1e3:>9.3f} "
+                f"{row['service_p95'] * 1e3:>9.3f}")
+        return "\n".join(lines)
+
+
+class NullBus(TraceBus):
+    """Discarding sink — the default for services built without a bus, so
+    untraced benchmark sweeps pay no aggregation cost and hold no samples."""
+
+    def __init__(self):
+        super().__init__()
+
+    def record(self, ev: OpTrace) -> None:  # noqa: ARG002 - interface
+        return
+
+
+#: Process-wide discarding sink shared by every unwired Service.
+NULL_BUS = NullBus()

@@ -9,7 +9,7 @@ its per-phase rates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generator, List, Sequence
+from typing import Generator, Sequence
 
 from ..sim.core import AllOf, Simulator
 from ..sim.node import Node

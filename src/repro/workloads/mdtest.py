@@ -10,7 +10,7 @@ reporting aggregate operations per second.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Generator, List, Sequence, Tuple
 
 from ..sim.node import Cluster, Node
 from ..sim.stats import LatencyRecorder

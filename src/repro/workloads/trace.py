@@ -23,7 +23,7 @@ Text format, one record per line (``#`` comments)::
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from ..errors import FSError

@@ -21,11 +21,12 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
-from typing import Any, Callable, Generator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Generator, List, Optional, Sequence
 
 from ..models.params import FaultToleranceParams
 from ..sim.node import Node
 from ..sim.rpc import RpcAgent, RpcTimeout
+from ..svc import NULL_BUS, OpTrace, TraceBus
 from .errors import ConnectionLossError, NotLeaderError, SessionExpiredError
 from .protocol import ReadRequest, WatchEvent, WriteRequest
 
@@ -46,6 +47,7 @@ class ZKClient:
         max_retries: Any = _UNSET,
         name: Optional[str] = None,
         fault: Optional[FaultToleranceParams] = None,
+        bus: Optional[TraceBus] = None,
     ):
         if not servers:
             raise ValueError("need at least one server endpoint")
@@ -66,6 +68,7 @@ class ZKClient:
                             else max_retries)
         self.session: Optional[int] = None
         self.last_retries = 0       # retries performed by the last request
+        self.bus = bus if bus is not None else NULL_BUS
         ident = name or f"zkcli{next(_client_seq)}"
         self._backoff_stream = f"zk.client.{ident}"
         self.agent = RpcAgent(node, ident)
@@ -109,16 +112,19 @@ class ZKClient:
 
     def _request(self, method: str, args: Any, size: int = 160) -> Generator:
         f = self.fault
-        deadline = self.sim.now + f.op_budget if f.op_budget else None
+        t0 = self.sim.now
+        deadline = t0 + f.op_budget if f.op_budget else None
         prev_sleep = f.backoff_base
         reconnects = 0
         attempt = 0
+        ok = False
         try:
             while True:
                 try:
                     result = yield from self.agent.call(
                         self.server, method, args, size=size,
                         timeout=self.request_timeout)
+                    ok = True
                     return result
                 except SessionExpiredError:
                     # The server no longer knows our session: re-establish
@@ -150,6 +156,9 @@ class ZKClient:
             # Published last so nested connect() calls cannot clobber it;
             # callers use it to disambiguate retried non-idempotent writes.
             self.last_retries = attempt + reconnects
+            self.bus.record(OpTrace("zk", self.agent.endpoint, method, t0, t0,
+                                    self.sim.now, ok,
+                                    retries=self.last_retries))
 
     def _rebind_session(self, req: WriteRequest) -> WriteRequest:
         session = self.session or 0

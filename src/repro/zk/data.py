@@ -13,7 +13,7 @@ JVM: per znode we charge a fixed overhead plus path and data bytes
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from .errors import (

@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence
 
 from ..models.params import ZKParams
 from ..sim.node import Cluster, Node
+from ..svc import TraceBus
 from .server import ZKServer
 
 
@@ -51,6 +52,7 @@ def build_ensemble(
     static_leader: Optional[int] = 0,
     boot: bool = True,
     n_observers: int = 0,
+    bus: Optional[TraceBus] = None,
 ) -> ZKEnsemble:
     """Create ``n_servers`` voting ZK servers (plus ``n_observers``
     non-voting observers) spread round-robin over ``nodes``.
@@ -70,7 +72,7 @@ def build_ensemble(
         server = ZKServer(node, sid, peers, params=params,
                           static_leader=static_leader,
                           observer=sid >= n_servers,
-                          voter_count=n_servers)
+                          voter_count=n_servers, bus=bus)
         servers.append(server)
     if boot and static_leader is not None:
         for server in servers:

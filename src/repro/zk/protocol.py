@@ -7,8 +7,8 @@ events travel as one-way *casts*.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 # ---------------------------------------------------------------------------
 # Client <-> server
@@ -57,6 +57,16 @@ class Propose:
     zxid: int
     txn: tuple
     epoch: int
+
+
+@dataclass(frozen=True)
+class ProposeBatch:
+    """Leader-side write batching: one marshalled message carries a run of
+    consecutive proposals, amortizing the per-follower stream cost (the
+    λFS/AsyncFS batching lever). Followers process the contained proposals
+    in order, exactly as if they had arrived individually."""
+
+    props: Tuple[Propose, ...]
 
 
 @dataclass(frozen=True)

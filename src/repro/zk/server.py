@@ -27,7 +27,8 @@ from ..models.params import ZKParams
 from ..sim.core import Event, Interrupt
 from ..sim.node import Node
 from ..sim.resources import Store
-from ..sim.rpc import Reply, RpcAgent
+from ..sim.rpc import Reply
+from ..svc import Batcher, Service, TraceBus
 from .data import ZnodeStore
 from .errors import (
     ConnectionLossError,
@@ -42,6 +43,7 @@ from .protocol import (
     Ping,
     Pong,
     Propose,
+    ProposeBatch,
     ReadRequest,
     SyncResponse,
     Vote,
@@ -75,6 +77,7 @@ class ZKServer:
         static_leader: Optional[int] = None,
         observer: bool = False,
         voter_count: Optional[int] = None,
+        bus: Optional[TraceBus] = None,
     ):
         self.node = node
         self.sim = node.sim
@@ -134,16 +137,18 @@ class ZKServer:
         self._votes: Dict[int, Tuple[int, int]] = {}
         self._my_vote: Tuple[int, int] = (0, 0)
 
-        # pipelines
-        self._log_queue: deque = deque()
-        self._log_kick = Store(self.sim)
+        # pipelines (group-commit logger; optional leader write batching)
         self._apply_kick = Store(self.sim)
+        self._logger: Optional[Batcher] = None
+        self._proposer: Optional[Batcher] = None
 
-        # counters for tests / benchmarks
+        # counters for tests / benchmarks ("ops" is kept by the kernel)
         self.stats = {"reads": 0, "writes": 0, "proposals": 0, "commits": 0,
                       "forwards": 0, "elections": 0, "gap_resyncs": 0}
 
-        self.agent = RpcAgent(node, self.endpoint)
+        self.svc = Service(node, self.endpoint, deployment="zk", bus=bus,
+                           op_stats=self.stats)
+        self.agent = self.svc.agent
         self._register_handlers()
         node.on_crash(self._on_crash)
         node.on_recover(self._on_recover)
@@ -153,25 +158,42 @@ class ZKServer:
     # wiring
     # ------------------------------------------------------------------
     def _register_handlers(self) -> None:
-        a = self.agent
-        a.register("read", self._h_read)
-        a.register("write", self._h_write)
-        a.register("fwd_write", self._h_fwd_write)
-        a.register("connect", self._h_connect)
-        a.register("close_session", self._h_close_session)
-        a.register("follower_info", self._h_follower_info)
-        a.register("sync", self._h_sync)
-        a.register("commit_index", self._h_commit_index)
-        a.register_fast("propose", self._f_propose)
-        a.register_fast("ack", self._f_ack)
-        a.register_fast("commit", self._f_commit)
-        a.register_fast("ping", self._f_ping)
-        a.register_fast("pong", self._f_pong)
-        a.register_fast("vote", self._f_vote)
-        a.register_fast("session_ping", self._f_session_ping)
+        s = self.svc
+        p = self.params
+        s.expose("read", self._h_read, cost=p.read_cpu)
+        s.expose("write", self._h_write, write=True, cost=p.write_leader_cpu)
+        s.expose("fwd_write", self._h_fwd_write, write=True,
+                 cost=p.write_leader_cpu)
+        s.expose("connect", self._h_connect, cost=p.session_cpu)
+        s.expose("close_session", self._h_close_session, write=True,
+                 cost=p.session_cpu)
+        s.expose("follower_info", self._h_follower_info, cost=p.session_cpu)
+        s.expose("sync", self._h_sync, cost=p.forward_cpu)
+        s.expose("commit_index", self._h_commit_index, cost=p.forward_cpu)
+        s.expose_fast("propose", self._f_propose)
+        s.expose_fast("propose_batch", self._f_propose_batch)
+        s.expose_fast("ack", self._f_ack)
+        s.expose_fast("commit", self._f_commit)
+        s.expose_fast("ping", self._f_ping)
+        s.expose_fast("pong", self._f_pong)
+        s.expose_fast("vote", self._f_vote)
+        s.expose_fast("session_ping", self._f_session_ping)
 
     def _start_pipelines(self) -> None:
-        self.node.spawn(self._logger_loop(), f"zk{self.sid}.logger")
+        if self._logger is None:
+            self._logger = Batcher(self.node, f"zk{self.sid}.logger",
+                                   self._flush_log,
+                                   max_batch=self.params.log_batch_max)
+        else:
+            self._logger.restart()
+        if self.params.propose_batch_max > 1:
+            if self._proposer is None:
+                self._proposer = Batcher(
+                    self.node, f"zk{self.sid}.proposer",
+                    self._flush_proposals,
+                    max_batch=self.params.propose_batch_max)
+            else:
+                self._proposer.restart()
         self.node.spawn(self._applier_loop(), f"zk{self.sid}.applier")
         if self.params.checkpoint_interval > 0:
             self.node.spawn(self._checkpoint_loop(), f"zk{self.sid}.ckpt")
@@ -477,13 +499,19 @@ class ZKServer:
         if not self.activated:
             raise ConnectionLossError(msg=f"zk{self.sid} leader not activated")
         p = self.params
+        batching = p.propose_batch_max > 1
         nf = len(self.active_followers)
         extra = (p.set_extra_cpu if req.op == "set"
                  else p.delete_extra_cpu if req.op == "delete" else 0.0)
         n_obs = len(self.active_observers)
-        yield from self.node.cpu_work(
-            p.write_leader_cpu + extra + nf * p.write_per_follower_cpu
-            + n_obs * p.write_per_follower_cpu * 0.5)
+        if batching:
+            # Per-follower marshalling is paid once per *batch* by the
+            # proposer pipeline; the request only pays its own validation.
+            yield from self.node.cpu_work(p.write_leader_cpu + extra)
+        else:
+            yield from self.node.cpu_work(
+                p.write_leader_cpu + extra + nf * p.write_per_follower_cpu
+                + n_obs * p.write_per_follower_cpu * 0.5)
         if self.role != LEADING:  # demoted while queued for CPU
             raise NotLeaderError(msg=f"zk{self.sid} lost leadership")
         # ---- atomic section: validate + speculative apply + sequence ----
@@ -496,6 +524,10 @@ class ZKServer:
         self.out_queue.append(zxid)
         self.stats["writes"] += 1
         self.stats["proposals"] += 1
+        if batching:
+            self._proposer.submit((zxid, txn, self._req_size(req)))
+            yield out.done
+            return result
         prop = Propose(zxid, txn, self.epoch)
         psize = p.proposal_base_size + self._req_size(req)
         for sid in self.active_followers:
@@ -505,50 +537,57 @@ class ZKServer:
             # leader pays a smaller marshalling cost for them.
             self._cast_peer(sid, "propose", prop, size=psize)
         # self-ack goes through the group-committed logger
-        self._log_queue.append(("self_ack", zxid))
-        self._log_kick.put(True)
+        self._logger.submit(("self_ack", zxid))
         yield out.done
         return result
+
+    def _flush_proposals(self, batch: List[tuple]) -> Generator:
+        """Proposer pipeline flush (``propose_batch_max > 1``): stream one
+        marshalled PROPOSE batch per follower, then self-ack every txn."""
+        p = self.params
+        if self.role != LEADING:
+            return  # demoted: outstanding entries were failed by step-down
+        nf = len(self.active_followers)
+        n_obs = len(self.active_observers)
+        yield from self.node.cpu_work(
+            (nf + 0.5 * n_obs) * p.write_per_follower_cpu)
+        if self.role != LEADING:
+            return
+        pb = ProposeBatch(tuple(Propose(z, txn, self.epoch)
+                                for z, txn, _ in batch))
+        size = p.proposal_base_size + sum(s for _, _, s in batch)
+        for sid in self.active_followers:
+            self._cast_peer(sid, "propose_batch", pb, size=size)
+        for sid in self.active_observers:
+            self._cast_peer(sid, "propose_batch", pb, size=size)
+        for z, _, _ in batch:
+            self._logger.submit(("self_ack", z))
 
     # ------------------------------------------------------------------
     # logger pipeline (leader self-acks; follower log+ACK) — group commit
     # ------------------------------------------------------------------
-    def _logger_loop(self) -> Generator:
+    def _flush_log(self, batch: List[tuple]) -> Generator:
         p = self.params
-        try:
-            yield from self._logger_body(p)
-        except Interrupt:
-            return
-
-    def _logger_body(self, p) -> Generator:
-        while True:
-            got = yield self._log_kick.get()
-            if got is None:
-                return
-            while self._log_queue:
-                batch = []
-                while self._log_queue and len(batch) < p.log_batch_max:
-                    batch.append(self._log_queue.popleft())
-                follower_items = [b for b in batch if b[0] == "log"]
-                if follower_items:
-                    yield from self.node.cpu_work(
-                        p.follower_log_cpu * len(follower_items))
-                yield self.sim.timeout(p.log_delay)  # one fsync for the batch
-                ack_zxids = []
-                for item in batch:
-                    if item[0] == "self_ack":
-                        self._on_ack(self.sid, item[1])
-                    else:  # ("log", zxid, txn, leader_sid)
-                        _, zxid, txn, leader_sid = item
-                        self.log.append((zxid, txn))
-                        ack_zxids.append((leader_sid, zxid))
-                if ack_zxids:
-                    if not self.observer:
-                        leader_sid = ack_zxids[0][0]
-                        self._cast_peer(
-                            leader_sid, "ack",
-                            Ack(tuple(z for _, z in ack_zxids), self.sid))
-                    self._apply_kick.put(True)  # commits may now be applicable
+        follower_items = [b for b in batch if b[0] == "log"]
+        if follower_items:
+            yield from self.node.cpu_work(
+                p.follower_log_cpu * len(follower_items))
+        yield self.sim.timeout(p.log_delay)  # one fsync for the batch
+        ack_zxids = []
+        for item in batch:
+            if item[0] == "self_ack":
+                self._on_ack(self.sid, item[1])
+            else:  # ("log", zxid, txn, leader_sid)
+                _, zxid, txn, leader_sid = item
+                self.log.append((zxid, txn))
+                ack_zxids.append((leader_sid, zxid))
+        if ack_zxids:
+            if not self.observer:
+                leader_sid = ack_zxids[0][0]
+                self._cast_peer(
+                    leader_sid, "ack",
+                    Ack(tuple(z for _, z in ack_zxids), self.sid))
+            self._apply_kick.put(True)  # commits may now be applicable
 
     # ------------------------------------------------------------------
     # ZAB casts
@@ -579,8 +618,13 @@ class ZKServer:
                             f"zk{self.sid}.gap-resync")
             return
         self._accepted_zxid = prop.zxid
-        self._log_queue.append(("log", prop.zxid, prop.txn, self.leader_sid))
-        self._log_kick.put(True)
+        self._logger.submit(("log", prop.zxid, prop.txn, self.leader_sid))
+
+    def _f_propose_batch(self, src: str, pb: ProposeBatch) -> None:
+        """A leader-side write batch: contained proposals are processed in
+        order exactly as if they had arrived individually."""
+        for prop in pb.props:
+            self._f_propose(src, prop)
 
     def _gap_before(self, zxid: int) -> bool:
         """True if accepting ``zxid`` would leave a hole in the log.
@@ -878,7 +922,9 @@ class ZKServer:
         self.data_watches.clear()
         self.child_watches.clear()
         self.exist_watches.clear()
-        self._log_queue.clear()
+        self._logger.clear()
+        if self._proposer is not None:
+            self._proposer.clear()
         self._votes.clear()
         # Accepted-but-unfsynced proposals died with the logger pipeline.
         self._accepted_zxid = self.log[-1][0] if self.log \
@@ -895,7 +941,6 @@ class ZKServer:
         # committed; ZAB resolves actual commit point during sync/election.
 
     def _on_recover(self) -> None:
-        self._log_kick = Store(self.sim)
         self._apply_kick = Store(self.sim)
         self._rebuild_from_disk()
         self._start_pipelines()

@@ -1,7 +1,6 @@
 """Tiny-scale smoke tests for every figure runner (fast unit coverage;
 the benchmarks/ suite runs them at quick scale with shape assertions)."""
 
-import pytest
 
 from repro.bench.figures import (
     run_ablations,

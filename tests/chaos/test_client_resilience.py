@@ -81,7 +81,6 @@ def test_zk_defaults_bound_lost_requests():
     """The old defaults (no timeout, no retries) hung forever on a lost
     message; the FaultToleranceParams defaults turn that into a bounded
     ConnectionLossError."""
-    from repro.zk.client import ZKClient
     from repro.zk.errors import ConnectionLossError
 
     dep = build_dufs_deployment(n_zk=1, n_backends=1, n_client_nodes=1,

@@ -1,8 +1,6 @@
 """End-to-end DUFS behaviour (paper §IV design properties)."""
 
-import pytest
 
-from repro.core.fid import fid_client_id
 from repro.core.mapping import physical_path
 from repro.errors import (
     EEXIST,

@@ -6,7 +6,6 @@ in-memory :class:`Namespace`. Every operation must succeed/fail alike
 (same errno class), and the final virtual tree must list identically.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -133,8 +132,8 @@ def test_two_clients_still_converge(ops_a, ops_b):
             except FSError:
                 pass
 
-    p1 = dep.client_nodes[0].spawn(driver(dep.mounts[0], ops_a))
-    p2 = dep.client_nodes[1].spawn(driver(dep.mounts[1], ops_b))
+    dep.client_nodes[0].spawn(driver(dep.mounts[0], ops_a))
+    dep.client_nodes[1].spawn(driver(dep.mounts[1], ops_b))
     dep.cluster.run()
     assert dep.ensemble.converged()
     n_virtual_files = sum(1 for _, is_dir in dufs_listing(dep)

@@ -2,7 +2,6 @@
 that matters — everything lives in ZooKeeper and the back-ends, so a
 crashed/restarted client resumes with zero recovery work."""
 
-import pytest
 
 from repro.core import DUFSClient, build_dufs_deployment
 from repro.core.mapping import MappingFunction

@@ -1,6 +1,5 @@
 """DUFS file handles (Fig. 3's resolve-once open path) and statfs."""
 
-import pytest
 
 from repro.errors import EBADF, EISDIR, ENOENT, FSError
 

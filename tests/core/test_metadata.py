@@ -31,10 +31,10 @@ def test_symlink_roundtrip():
 def test_type_byte_distinguishes():
     d = decode_payload(DirPayload().encode())
     f = decode_payload(FilePayload(fid=make_fid(1, 1)).encode())
-    l = decode_payload(SymlinkPayload("/t").encode())
+    ln = decode_payload(SymlinkPayload("/t").encode())
     assert isinstance(d, DirPayload)
     assert isinstance(f, FilePayload)
-    assert isinstance(l, SymlinkPayload)
+    assert isinstance(ln, SymlinkPayload)
 
 
 def test_bad_payloads_rejected():

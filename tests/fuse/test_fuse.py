@@ -5,7 +5,6 @@ import pytest
 from repro.errors import ENOENT, ENOSYS, FSError
 from repro.fuse import DummyFS, FuseMount, OperationTable
 from repro.fuse.ops import FUSE_OPERATIONS
-from repro.models.params import FUSEParams
 from repro.sim import Cluster
 
 

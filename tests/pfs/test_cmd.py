@@ -1,8 +1,7 @@
 """Clustered-MDS (CMD) model: semantics, partitioning, global-lock cost."""
 
-import pytest
 
-from repro.errors import EEXIST, EISDIR, ENOENT, ENOTDIR, ENOTEMPTY, FSError
+from repro.errors import EEXIST, EISDIR, ENOENT, ENOTEMPTY, FSError
 from repro.pfs.cmd import build_cmd
 from repro.pfs.cmd.server import owner_index
 from repro.sim import Cluster

@@ -1,6 +1,5 @@
 """Additional CMD coverage: attrs, readdir at root, concurrent clients."""
 
-import pytest
 
 from repro.errors import ENOENT, FSError
 from repro.pfs.cmd import build_cmd

@@ -5,7 +5,6 @@ client, and the PVFS client (and, in tests/core, for DUFS itself) — this
 is what lets the paper swap back-ends under one DUFS prototype.
 """
 
-import pytest
 
 from repro.errors import (
     EEXIST,

@@ -1,11 +1,10 @@
 """GIGA+ distributed directory: addressing, splits, stale bitmaps,
 and the availability trade-off the paper calls out (§VI)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import EEXIST, EIO, ENOENT, FSError
+from repro.errors import EEXIST, ENOENT, FSError
 from repro.pfs.giga import build_giga
 from repro.pfs.giga.service import (
     MAX_DEPTH,

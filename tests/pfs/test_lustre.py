@@ -1,6 +1,5 @@
 """Lustre-specific behaviour: single-MDS bottleneck, DLM, glimpse."""
 
-import pytest
 
 from repro.models.params import LustreParams
 
@@ -129,7 +128,6 @@ def test_unlink_destroys_oss_object(lustre):
 
 def test_mds_throughput_saturates_with_offered_load():
     """More client processes than MDS capacity -> throughput plateaus."""
-    h = FSHarness("lustre")
     done = {8: 0, 32: 0}
 
     for procs in (8, 32):

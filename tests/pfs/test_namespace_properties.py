@@ -1,6 +1,5 @@
 """Property-based tests for the POSIX namespace engine (incl. rename)."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -30,7 +29,6 @@ class Oracle:
         return p.rsplit("/", 1)[0] or "/"
 
     def children(self, p):
-        prefix = p if p != "/" else ""
         return [q for q in self.nodes
                 if q != "/" and self.parent(q) == p]
 

@@ -1,6 +1,5 @@
 """PVFS-specific behaviour: handle partitioning, resolve cost, sync txns."""
 
-import pytest
 
 from repro.models.params import PVFSParams
 
@@ -143,7 +142,8 @@ def test_bounded_server_parallelism():
     def stat_worker():
         yield from cli.stat("/d")
 
-    procs = [h.client_nodes[0].spawn(stat_worker()) for _ in range(4)]
+    for _ in range(4):
+        h.client_nodes[0].spawn(stat_worker())
     h.cluster.run()
     # 4 stats, each with a 5 ms getattr, all serialized on the single
     # worker ≈ 20 ms; a fully parallel server would take ~5 ms.

@@ -6,7 +6,6 @@ from repro.sim import (
     AllOf,
     AnyOf,
     EmptySchedule,
-    Event,
     Interrupt,
     SimulationError,
     Simulator,

@@ -34,7 +34,7 @@ def test_bandwidth_term_scales_with_size():
     got = []
 
     def receiver():
-        msg = yield net.inbox("b").get()
+        yield net.inbox("b").get()
         got.append(sim.now)
 
     sim.process(receiver())

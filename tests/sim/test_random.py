@@ -1,6 +1,5 @@
 """Named deterministic random streams."""
 
-import pytest
 
 from repro.sim import RandomStreams
 

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.sim import Counter, LatencyRecorder, OpLog, ThroughputWindow
+from repro.sim import Counter, Histogram, LatencyRecorder, OpLog, \
+    ThroughputWindow, percentile
 
 
 def test_counter_inc_and_get():
@@ -21,14 +22,41 @@ def test_latency_recorder_summary():
     s = r.summary("stat")
     assert s.count == 100
     assert s.mean == pytest.approx(0.0505)
-    assert s.p50 == pytest.approx(0.050)
-    assert s.p95 == pytest.approx(0.095)
-    assert s.p99 == pytest.approx(0.099)
+    # Linear interpolation between ranks: p * (n - 1) = 49.5 for p50.
+    assert s.p50 == pytest.approx(0.0505)
+    assert s.p95 == pytest.approx(0.09505)
+    assert s.p99 == pytest.approx(0.09901)
     assert s.max == pytest.approx(0.100)
+
+
+def test_percentile_interpolates_between_ranks():
+    xs = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(xs, 0.0) == 1.0
+    assert percentile(xs, 1.0) == 4.0
+    assert percentile(xs, 0.5) == pytest.approx(2.5)
+    assert percentile(xs, 0.25) == pytest.approx(1.75)
+    assert percentile([7.0], 0.99) == 7.0
 
 
 def test_latency_recorder_empty_key():
     assert LatencyRecorder().summary("none") is None
+
+
+def test_latency_recorder_histogram():
+    r = LatencyRecorder()
+    for v in (0.5, 1.5, 1.6, 9.0):
+        r.record("op", v)
+    h = r.histogram("op", edges=[1.0, 2.0, 4.0])
+    assert isinstance(h, Histogram)
+    assert h.total == 4
+    assert h.counts == [1, 2, 0, 1]  # <=1, (1,2], (2,4], >4
+    d = h.as_dict()
+    assert sum(d["counts"]) == 4 and d["edges"] == [1.0, 2.0, 4.0]
+    assert "≤" in h.render() or "<=" in h.render()
+
+
+def test_latency_recorder_histogram_empty():
+    assert LatencyRecorder().histogram("none") is None
 
 
 def test_latency_recorder_keys_sorted():

@@ -1,0 +1,97 @@
+"""Group-commit Batcher: coalescing, crash clear, recovery restart."""
+
+import pytest
+
+from repro.sim import Cluster
+from repro.svc import Batcher
+
+
+def make():
+    cluster = Cluster(seed=0)
+    node = cluster.add_node("n")
+    return cluster, node
+
+
+def test_batcher_coalesces_up_to_max_batch():
+    cluster, node = make()
+    flushed = []
+
+    def flush(batch):
+        yield cluster.sim.timeout(1e-3)
+        flushed.append(list(batch))
+
+    b = Batcher(node, "b", flush, max_batch=4)
+
+    def producer():
+        for i in range(10):
+            b.submit(i)
+        yield cluster.sim.timeout(0)
+
+    node.spawn(producer())
+    cluster.run()
+    # First flush takes whatever was queued when the loop woke (all 10 are
+    # submitted at t=0, so they drain in ceil(10/4) = 3 batches).
+    assert [len(batch) for batch in flushed] == [4, 4, 2]
+    assert [x for batch in flushed for x in batch] == list(range(10))
+    assert b.stats == {"flushes": 3, "items": 10}
+    assert len(b) == 0
+
+
+def test_batcher_flushes_arrivals_during_flush_together():
+    cluster, node = make()
+    flushed = []
+
+    def flush(batch):
+        yield cluster.sim.timeout(1.0)
+        flushed.append(list(batch))
+
+    b = Batcher(node, "b", flush, max_batch=64)
+
+    def producer():
+        b.submit("a")
+        yield cluster.sim.timeout(0.5)   # lands mid-flush of ["a"]
+        b.submit("b")
+        b.submit("c")
+
+    node.spawn(producer())
+    cluster.run()
+    assert flushed == [["a"], ["b", "c"]]
+
+
+def test_batcher_rejects_bad_max_batch():
+    _, node = make()
+    with pytest.raises(ValueError):
+        Batcher(node, "b", lambda batch: iter(()), max_batch=0)
+
+
+def test_batcher_crash_clear_and_restart():
+    cluster, node = make()
+    flushed = []
+
+    def flush(batch):
+        yield cluster.sim.timeout(1.0)
+        flushed.extend(batch)
+
+    b = Batcher(node, "b", flush, max_batch=64)
+
+    def producer():
+        b.submit(1)
+        b.submit(2)
+        yield cluster.sim.timeout(0.5)   # mid-flush
+        node.crash()
+        b.clear()
+
+    node.spawn(producer())
+    cluster.run(until=2.0)
+    assert flushed == [] and len(b) == 0   # un-flushed work died
+
+    node.recover()
+    b.restart()
+
+    def producer2():
+        b.submit(3)
+        yield cluster.sim.timeout(0)
+
+    node.spawn(producer2())
+    cluster.run()
+    assert flushed == [3]

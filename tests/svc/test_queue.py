@@ -1,0 +1,105 @@
+"""Admission policies: direct pass-through, bounded FIFO, priority."""
+
+import pytest
+
+from repro.sim import Cluster
+from repro.svc import (
+    AdmissionPolicy,
+    BoundedAdmission,
+    DirectAdmission,
+    PriorityAdmission,
+    make_policy,
+)
+
+
+def test_direct_admission_is_free():
+    pol = DirectAdmission()
+    assert pol.admit("anything") is None
+    pol.release(None)          # no-op, must not raise
+    assert pol.depth == 0
+    assert isinstance(pol, AdmissionPolicy)
+
+
+def test_bounded_admission_serializes():
+    cluster = Cluster(seed=0)
+    node = cluster.add_node("n")
+    sim = cluster.sim
+    pol = BoundedAdmission(sim, 1)
+    order = []
+
+    def worker(i):
+        tok = pol.admit("op")
+        try:
+            yield tok
+            order.append((i, sim.now))
+            yield sim.timeout(1.0)
+        finally:
+            pol.release(tok)
+
+    for i in range(3):
+        node.spawn(worker(i))
+    cluster.run()
+    assert [i for i, _ in order] == [0, 1, 2]
+    # Each admission waited for the previous holder's full second.
+    assert [round(t, 6) for _, t in order] == [0.0, 1.0, 2.0]
+
+
+def test_bounded_admission_depth():
+    cluster = Cluster(seed=0)
+    node = cluster.add_node("n")
+    sim = cluster.sim
+    pol = BoundedAdmission(sim, 1)
+
+    def worker():
+        tok = pol.admit("op")
+        try:
+            yield tok
+            yield sim.timeout(1.0)
+        finally:
+            pol.release(tok)
+
+    for _ in range(3):
+        node.spawn(worker())
+    sim.run(until=0.5)
+    assert pol.depth == 2       # one in service, two waiting
+    cluster.run()
+    assert pol.depth == 0
+
+
+def test_priority_admission_reorders_waiters():
+    cluster = Cluster(seed=0)
+    node = cluster.add_node("n")
+    sim = cluster.sim
+    prio = {"bulk": 10, "urgent": 0}
+    pol = PriorityAdmission(sim, 1, priority_of=prio.get)
+    order = []
+
+    def worker(method):
+        tok = pol.admit(method)
+        try:
+            yield tok
+            order.append(method)
+            yield sim.timeout(1.0)
+        finally:
+            pol.release(tok)
+
+    # First bulk grabs the slot; the queued urgent overtakes queued bulk.
+    node.spawn(worker("bulk"))
+    node.spawn(worker("bulk"))
+    node.spawn(worker("urgent"))
+    cluster.run()
+    assert order == ["bulk", "urgent", "bulk"]
+
+
+def test_make_policy_parses_specs():
+    cluster = Cluster(seed=0)
+    sim = cluster.sim
+    assert isinstance(make_policy("direct", sim), DirectAdmission)
+    assert isinstance(make_policy("", sim), DirectAdmission)
+    assert isinstance(make_policy("fifo", sim), DirectAdmission)
+    bounded = make_policy("bounded:4", sim)
+    assert isinstance(bounded, BoundedAdmission)
+    assert bounded.resource.capacity == 4
+    assert isinstance(make_policy("priority:2", sim), PriorityAdmission)
+    with pytest.raises(ValueError):
+        make_policy("wrong:1", sim)

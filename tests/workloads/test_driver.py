@@ -1,0 +1,66 @@
+"""run_phase / PhaseResult: barrier semantics and throughput math."""
+
+import pytest
+
+from repro.sim import Cluster
+from repro.workloads.driver import PhaseResult, run_phase
+
+
+def make_nodes(n):
+    cluster = Cluster(seed=3)
+    return cluster, [cluster.add_node(f"c{i}") for i in range(n)]
+
+
+def spinner(sim, delay, count, log=None):
+    for _ in range(count):
+        yield sim.timeout(delay)
+        if log is not None:
+            log.append(sim.now)
+
+
+def test_empty_phase_reports_zero_ops_and_zero_rate():
+    cluster, nodes = make_nodes(1)
+    res = run_phase(cluster.sim, "empty", nodes, [], ops_per_worker=5)
+    assert res.ops == 0
+    assert res.duration == 0.0
+    assert res.throughput == 0.0        # the zero-duration guard
+    assert cluster.sim.now == 0.0       # no events were scheduled
+
+
+def test_single_op_phase():
+    cluster, nodes = make_nodes(1)
+    sim = cluster.sim
+    res = run_phase(sim, "one", nodes, [spinner(sim, 0.25, 1)],
+                    ops_per_worker=1)
+    assert res.ops == 1
+    assert res.duration == pytest.approx(0.25)
+    assert res.throughput == pytest.approx(4.0)
+
+
+def test_multi_client_phase_barriers_on_slowest():
+    cluster, nodes = make_nodes(2)
+    sim = cluster.sim
+    # Four workers round-robin over two nodes; one is 3x slower.
+    workers = [spinner(sim, 0.1, 2) for _ in range(3)]
+    workers.append(spinner(sim, 0.3, 2))
+    res = run_phase(sim, "mixed", nodes, workers, ops_per_worker=2)
+    assert res.ops == 8
+    # The phase ends only when the slow straggler finishes (mdtest barrier).
+    assert res.duration == pytest.approx(0.6)
+    assert res.throughput == pytest.approx(8 / 0.6)
+
+
+def test_phases_are_sequential_and_separately_timed():
+    cluster, nodes = make_nodes(1)
+    sim = cluster.sim
+    first = run_phase(sim, "a", nodes, [spinner(sim, 0.5, 1)], 1)
+    second = run_phase(sim, "b", nodes, [spinner(sim, 0.5, 1)], 1)
+    assert first.duration == pytest.approx(0.5)
+    assert second.duration == pytest.approx(0.5)   # not cumulative
+    assert sim.now == pytest.approx(1.0)
+
+
+def test_phase_result_str_mentions_rate():
+    res = PhaseResult("create", 100, 2.0)
+    assert res.throughput == pytest.approx(50.0)
+    assert "create" in str(res) and "ops" in str(res)

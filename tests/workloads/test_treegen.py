@@ -1,6 +1,5 @@
 """Tree scaffolding generator tests."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -2,7 +2,6 @@
 (paper §IV-I: "although each ZooKeeper server keeps all its data in
 memory, it is periodically checkpointed on disk")."""
 
-import pytest
 
 from repro.models.params import ZKParams
 

@@ -2,12 +2,10 @@
 
 import pytest
 
-from repro.models.params import ZKParams
 from repro.sim import Cluster
-from repro.zk import ZKClient, build_ensemble
+from repro.zk import ZKClient
 from repro.zk.errors import ConnectionLossError
 
-from .conftest import ZKHarness
 
 
 def test_client_requires_servers():

@@ -1,13 +1,11 @@
 """Election edge cases: observers, partitions during votes, rejoins."""
 
-import pytest
 
 from repro.models.params import ZKParams
 from repro.sim import Cluster
-from repro.zk import ZKClient, build_ensemble
+from repro.zk import build_ensemble
 from repro.zk.election import vote_order
 
-from .conftest import ZKHarness
 from .test_failures import elect_harness, wait_for_leader
 
 

@@ -5,11 +5,8 @@ metadata layer maintains consistency and availability through failures
 (as long as a majority of servers survives).
 """
 
-import pytest
 
 from repro.models.params import ZKParams
-from repro.sim import Cluster
-from repro.zk import ZKClient, build_ensemble
 from repro.zk.errors import ConnectionLossError
 
 from .conftest import ZKHarness

@@ -6,11 +6,8 @@ reads" — dissolves if the extra read capacity comes from non-voting
 replicas.
 """
 
-import pytest
 
-from repro.models.params import ZKParams
 from repro.sim import Cluster
-from repro.workloads.zkraw import ZKRawConfig
 from repro.zk import ZKClient, build_ensemble
 
 
@@ -96,7 +93,6 @@ def test_quorum_excludes_observers():
 def test_observers_give_read_scaling_without_write_penalty():
     """The punchline: 3 voters + 5 observers reads ~like 8 servers but
     writes ~like 3 servers."""
-    from repro.workloads.zkraw import run_zk_raw
 
     def measure(n_servers, n_observers):
         cluster = Cluster(seed=42)

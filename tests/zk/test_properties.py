@@ -29,7 +29,6 @@ class ModelFS:
         return p.rsplit("/", 1)[0] or "/"
 
     def children(self, p):
-        prefix = p if p != "/" else ""
         return [q for q in self.nodes
                 if q != "/" and self.parent(q) == p]
 

@@ -1,6 +1,5 @@
 """Integration tests: ZK ensemble semantics through the client API."""
 
-import pytest
 
 from repro.zk.errors import (
     BadVersionError,

@@ -1,6 +1,5 @@
 """zoo_sync semantics and session liveness / ephemeral expiry."""
 
-import pytest
 
 from repro.models.params import ZKParams
 
