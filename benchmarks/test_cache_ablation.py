@@ -1,0 +1,59 @@
+"""Client metadata-cache ablation: cache-on vs cache-off, same workload.
+
+Claims asserted here (the cache PR's acceptance bar):
+- the hot stat phase is at least 2x faster with the cache on (repeat
+  lookups of a warm working set are served client-locally),
+- the shared stat phase is at least 2x faster AND actually coalesces
+  (concurrent same-path misses on one node share one in-flight RPC),
+- ``ls -l`` re-sweeps win from listing + piggybacked-stat caching,
+- cache-on resolves the workload with far fewer ZooKeeper reads.
+
+The run also refreshes ``BENCH_mdcache.json`` next to this file when the
+``REPRO_WRITE_BENCH_JSON`` environment variable is set; the committed
+copy is the CI regression baseline (``scripts/check_bench_regression.py``).
+"""
+
+import json
+import os
+import pathlib
+
+from repro.bench import (render_cache_ablation, run_cache_ablation,
+                         write_cache_bench_json)
+
+from .conftest import run_once
+
+BASELINE = pathlib.Path(__file__).with_name("BENCH_mdcache.json")
+
+
+def test_cache_ablation(benchmark):
+    doc = run_once(benchmark, run_cache_ablation, scale="quick", seed=0)
+    print()
+    print(render_cache_ablation(doc))
+
+    # ≥2x simulated stat-phase throughput with the cache on.
+    assert doc["speedup"]["stat_hot"] >= 2.0
+    assert doc["speedup"]["stat_shared"] >= 2.0
+    assert doc["speedup"]["ls_l"] >= 2.0
+
+    # The mechanism, not just the outcome: hits dominate, misses bounded
+    # by the working-set size, concurrent cold lookups coalesced.
+    on = doc["on"]
+    assert on["hit_rate"] > 0.5
+    assert on["cache"]["coalesced"] > 0
+    assert on["cache"]["listing_hits"] > 0
+    assert on["zk_reads"] < doc["off"]["zk_reads"] / 3
+
+    # Cache-off side must report a completely cold cache (default policy
+    # records nothing — the byte-identity guarantee's visible face).
+    assert all(v == 0 for v in doc["off"]["cache"].values())
+
+    if os.environ.get("REPRO_WRITE_BENCH_JSON"):
+        write_cache_bench_json(doc, str(BASELINE))
+
+    # Determinism guard: same seed on a fresh process must reproduce the
+    # committed baseline exactly (simulated time, not wall clock).
+    if BASELINE.exists():
+        base = json.loads(BASELINE.read_text())
+        if base.get("scale") == "quick" and base.get("seed") == 0:
+            assert doc["on"]["phases"] == base["on"]["phases"]
+            assert doc["off"]["phases"] == base["off"]["phases"]

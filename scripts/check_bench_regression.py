@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""CI gate: rerun the mdcache ablation and compare against the committed
+baseline (``benchmarks/BENCH_mdcache.json``).
+
+Fails (exit 1) when any cache-on phase's *simulated* throughput drops more
+than the tolerance (default 25%) below the baseline, or when a stat
+phase's cache speedup falls under the 2x acceptance floor. Simulated
+throughput is deterministic for a given seed, so any drift is a real
+behavioural change in the model, not runner noise.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_bench_regression.py \
+        [--baseline benchmarks/BENCH_mdcache.json] [--tolerance 0.25]
+
+Refresh the baseline after an intentional perf change with::
+
+    PYTHONPATH=src python -m repro bench --json benchmarks/BENCH_mdcache.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.bench import (check_regression, render_cache_ablation,
+                         run_cache_ablation)
+
+DEFAULT_BASELINE = (pathlib.Path(__file__).resolve().parent.parent
+                    / "benchmarks" / "BENCH_mdcache.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    args = parser.parse_args(argv)
+
+    baseline_path = pathlib.Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"error: baseline {baseline_path} not found", file=sys.stderr)
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+
+    doc = run_cache_ablation(scale=baseline.get("scale", "quick"),
+                             seed=baseline.get("seed", 0))
+    print(render_cache_ablation(doc))
+
+    failures = check_regression(doc, baseline, tolerance=args.tolerance)
+    if failures:
+        print()
+        for f in failures:
+            print(f"REGRESSION: {f}", file=sys.stderr)
+        return 1
+    print(f"\nok: within {args.tolerance:.0%} of baseline "
+          f"({baseline_path.name})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,11 @@
 """Benchmark harnesses regenerating every figure of the paper's evaluation."""
 
+from .cache_bench import (
+    check_regression,
+    render_cache_ablation,
+    run_cache_ablation,
+    write_cache_bench_json,
+)
 from .export import figure_to_csv, write_figure_csv
 from .figures import (
     FigureResult,
@@ -23,4 +29,6 @@ __all__ = [
     "run_fig11", "run_headline_claims", "run_single_dir",
     "figure_to_csv", "write_figure_csv",
     "render_figure", "render_headline", "run_trace",
+    "run_cache_ablation", "render_cache_ablation",
+    "write_cache_bench_json", "check_regression",
 ]

@@ -6,7 +6,9 @@ service-time / retry metrics for every layer — DUFS client entry points,
 the ZK client retry path, and every server endpoint (ZooKeeper and the
 back-end filesystems). ``--batch N`` turns on ZooKeeper leader-side write
 batching (``ZKParams.propose_batch_max``) so the group-commit win is
-directly visible in the create-phase throughput.
+directly visible in the create-phase throughput. ``--cache`` enables the
+client metadata cache, whose hit/miss/invalidation counters then appear
+as ``mdcache/*`` rows in the same table.
 """
 
 from __future__ import annotations
@@ -15,7 +17,8 @@ from dataclasses import replace
 from typing import Optional
 
 from ..core.fs import build_dufs_deployment
-from ..models.params import SimParams
+from ..core.mdcache import aggregate_counters
+from ..models.params import CacheParams, SimParams
 from ..workloads.mdtest import MdtestConfig, run_mdtest
 
 _SCALES = {
@@ -28,7 +31,8 @@ _SCALES = {
 
 def run_trace(scale: str = "quick", backend: str = "local",
               batch: int = 1, seed: int = 0,
-              phases: Optional[tuple] = None) -> str:
+              phases: Optional[tuple] = None,
+              cache: bool = False) -> str:
     """Run one traced mdtest and return the formatted report."""
     n_zk, n_backends, n_clients, n_procs, items = _SCALES[scale]
     params = SimParams()
@@ -37,7 +41,9 @@ def run_trace(scale: str = "quick", backend: str = "local",
             zk=replace(params.zk, propose_batch_max=batch))
     dep = build_dufs_deployment(n_zk=n_zk, n_backends=n_backends,
                                 n_client_nodes=n_clients, backend=backend,
-                                params=params, seed=seed, trace=True)
+                                params=params, seed=seed, trace=True,
+                                cache=CacheParams.caching_on() if cache
+                                else None)
     cfg = MdtestConfig(n_procs=n_procs, items_per_proc=items,
                        phases=phases or ("dir_create", "dir_stat",
                                          "dir_remove"))
@@ -45,8 +51,13 @@ def run_trace(scale: str = "quick", backend: str = "local",
 
     lines = [f"traced mdtest: backend={backend} scale={scale} "
              f"zk={n_zk} procs={n_procs} items/proc={items} "
-             f"propose_batch_max={max(1, batch)}", ""]
+             f"propose_batch_max={max(1, batch)}"
+             f"{' cache=on' if cache else ''}", ""]
     for name, phase in result.phases.items():
         lines.append(f"  {name:<12s} {phase.throughput:10.1f} ops/s")
     lines += ["", dep.bus.table()]
+    if cache:
+        counters = aggregate_counters([c.mdcache for c in dep.clients])
+        pairs = " ".join(f"{k}={v}" for k, v in counters.items() if v)
+        lines += ["", f"mdcache counters: {pairs or '(no activity)'}"]
     return "\n".join(lines)

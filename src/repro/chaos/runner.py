@@ -24,7 +24,8 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from ..errors import FSError
-from ..models.params import LustreParams, PVFSParams, SimParams, ZKParams
+from ..models.params import (CacheParams, LustreParams, PVFSParams,
+                             SimParams, ZKParams)
 from ..sim.node import Cluster
 from .audit import AuditReport, audit_dufs
 from .engine import ChaosEngine
@@ -89,7 +90,7 @@ def default_schedule(deployment: str, duration: float,
 
 
 # -- deployment adapters ----------------------------------------------------
-def _build_dufs(seed: int):
+def _build_dufs(seed: int, cache: Optional[CacheParams] = None):
     from ..core import build_dufs_deployment
 
     params = SimParams()
@@ -99,7 +100,8 @@ def _build_dufs(seed: int):
     dep = build_dufs_deployment(n_zk=5, n_backends=2, n_client_nodes=2,
                                 backend="local", params=params,
                                 co_locate_zk=False, seed=seed,
-                                zk_request_timeout=0.4, zk_max_retries=10)
+                                zk_request_timeout=0.4, zk_max_retries=10,
+                                cache=cache)
 
     def resolve(symbol: str):
         kind, _, arg = symbol.partition(":")
@@ -183,6 +185,7 @@ def run_chaos(
     tail: float = 3.0,
     audit: bool = True,
     on_event: Optional[Callable[[FaultSpec, tuple], None]] = None,
+    cache: Optional[CacheParams] = None,
 ) -> ChaosRunResult:
     """One chaos experiment: op stream + schedule replay + (DUFS) audit.
 
@@ -190,12 +193,18 @@ def run_chaos(
     tolerates failures (each is counted, never fatal) — exactly the
     availability measurement of the paper's reliability discussion. The
     schedule starts when the op stream does, after ``settle`` seconds of
-    warm-up.
+    warm-up. ``cache`` (DUFS only) runs the clients with the coherent
+    metadata cache enabled, so the audit doubles as a coherence check
+    under faults.
     """
     if deployment not in DEPLOYMENTS:
         raise ValueError(f"unknown deployment {deployment!r}")
-    cluster, dep, client, node, resolve, apply_backend = \
-        _BUILDERS[deployment](seed)
+    if cache is not None and deployment != "dufs":
+        raise ValueError("cache is a DUFS-only option")
+    builder = _BUILDERS[deployment]
+    built = builder(seed, cache=cache) if deployment == "dufs" \
+        else builder(seed)
+    cluster, dep, client, node, resolve, apply_backend = built
     duration = ops * op_interval
     if schedule is None:
         schedule = default_schedule(deployment, duration, seed=seed)

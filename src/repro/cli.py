@@ -4,7 +4,8 @@ Usage::
 
     python -m repro fig7 [--scale quick|medium|full] [--seed N]
     python -m repro fig8 | fig9 | fig10 | fig11 | claims | ablations
-    python -m repro trace [--backend local|lustre|pvfs] [--batch N]
+    python -m repro trace [--backend local|lustre|pvfs] [--batch N] [--cache]
+    python -m repro bench [--json PATH]     # mdcache ablation, cache on vs off
     python -m repro all --scale medium
 """
 
@@ -47,10 +48,12 @@ def main(argv=None) -> int:
                     "Metadata Service Layer benefit Parallel Filesystems?' "
                     "(CLUSTER 2011) on the simulated cluster.")
     parser.add_argument("target",
-                        choices=[*RUNNERS, "claims", "chaos", "trace", "all"],
+                        choices=[*RUNNERS, "claims", "chaos", "trace",
+                                 "bench", "all"],
                         help="which figure/table to regenerate "
                              "(or 'chaos': a fault-injection run; 'trace': "
-                             "a traced mdtest with per-endpoint op metrics)")
+                             "a traced mdtest with per-endpoint op metrics; "
+                             "'bench': the client-cache ablation)")
     parser.add_argument("--scale", default="quick",
                         choices=("quick", "medium", "full"),
                         help="sweep size: quick (seconds), medium, or full "
@@ -71,6 +74,12 @@ def main(argv=None) -> int:
     parser.add_argument("--batch", type=int, default=1,
                         help="ZooKeeper leader write-batch size; >1 enables "
                              "proposal coalescing (trace only)")
+    parser.add_argument("--cache", action="store_true",
+                        help="enable the client metadata cache (trace and "
+                             "chaos; 'bench' always runs cache off AND on)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write machine-readable results to PATH "
+                             "(bench only; e.g. BENCH_mdcache.json)")
     args = parser.parse_args(argv)
 
     targets = list(RUNNERS) + ["claims"] if args.target == "all" \
@@ -78,12 +87,24 @@ def main(argv=None) -> int:
     for target in targets:
         if target == "chaos":
             from .chaos import run_chaos
-            result = run_chaos(args.deployment, seed=args.seed, ops=args.ops)
+            from .models.params import CacheParams
+            cache = CacheParams.caching_on() \
+                if args.cache and args.deployment == "dufs" else None
+            result = run_chaos(args.deployment, seed=args.seed, ops=args.ops,
+                               cache=cache)
             print(result.summary())
         elif target == "trace":
             from .bench.trace_cli import run_trace
             print(run_trace(scale=args.scale, backend=args.backend,
-                            batch=args.batch, seed=args.seed))
+                            batch=args.batch, seed=args.seed,
+                            cache=args.cache))
+        elif target == "bench":
+            from .bench import (render_cache_ablation, run_cache_ablation,
+                                write_cache_bench_json)
+            doc = run_cache_ablation(scale=args.scale, seed=args.seed)
+            print(render_cache_ablation(doc))
+            if args.json:
+                print(f"[json] {write_cache_bench_json(doc, args.json)}")
         elif target == "claims":
             scale = args.scale if args.scale != "quick" else "medium"
             print(render_headline(run_headline_claims(scale=scale,

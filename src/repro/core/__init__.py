@@ -23,6 +23,7 @@ from .client import DUFSClient
 from .fid import FID_BITS, FIDGenerator, fid_hex
 from .fs import DUFSDeployment, build_dufs_deployment
 from .mapping import MappingFunction, physical_dirs, physical_path
+from .mdcache import MDCache, aggregate_counters
 from .metadata import DirPayload, FilePayload, SymlinkPayload, decode_payload
 from .rebalance import (
     Relocation,
@@ -36,6 +37,7 @@ from .rebalance import (
 __all__ = [
     "DUFSClient", "DUFSDeployment", "build_dufs_deployment",
     "FID_BITS", "FIDGenerator", "fid_hex",
+    "MDCache", "aggregate_counters",
     "MappingFunction", "physical_dirs", "physical_path",
     "DirPayload", "FilePayload", "SymlinkPayload", "decode_payload",
     "Relocation", "attach_backend", "collect_files", "migrate",

@@ -32,7 +32,7 @@ from ..errors import (
     ENOTEMPTY,
     FSError,
 )
-from ..models.params import DUFSParams
+from ..models.params import CacheParams, DUFSParams
 from ..pfs.base import (
     DEFAULT_DIR_MODE,
     S_IFDIR,
@@ -55,6 +55,7 @@ from ..zk.errors import (
 )
 from .fid import FIDGenerator
 from .mapping import MappingFunction, physical_dirs, physical_path
+from .mdcache import MDCache
 from .metadata import (
     DirPayload,
     FilePayload,
@@ -87,6 +88,9 @@ class DUFSClient:
         mapping: Optional[MappingFunction] = None,
         client_id: Optional[int] = None,
         layout: str = "amortized",
+        cache: Optional[CacheParams] = None,
+        bus=None,
+        name: Optional[str] = None,
     ):
         if not backends:
             raise ValueError("DUFS needs at least one back-end mount")
@@ -102,10 +106,6 @@ class DUFSClient:
         self.fidgen = FIDGenerator(client_id)
         # Physical hash-directories known to exist, per back-end.
         self._known_dirs: List[set] = [set() for _ in self.backends]
-        # Virtual paths known to be directories (the kernel dcache the
-        # real prototype gets for free from VFS: parent-type checks are
-        # answered locally after first resolution).
-        self._vdir_cache: set = set()
         # Open-file-handle table: open() resolves the FID once (Fig. 3
         # steps A-C); subsequent I/O through the handle goes straight to
         # the back-end with no further ZooKeeper contact.
@@ -117,6 +117,14 @@ class DUFSClient:
         self.degraded: set = set()
         self.stats = {"ops": 0, "zk_reads": 0, "zk_writes": 0,
                       "backend_ops": 0, "degraded_fails": 0}
+        # Coherent metadata cache. It also owns the virtual-directory
+        # dcache (paths known to be directories — the kernel dcache the
+        # real prototype gets for free from VFS), which stays active even
+        # with caching disabled; with the default CacheParams every lookup
+        # still goes straight to ZooKeeper.
+        self.mdcache = MDCache(node, zk, params=cache,
+                               client_stats=self.stats, bus=bus,
+                               endpoint=name or "dufs-client")
 
     # -- internals ------------------------------------------------------------
     def _logic(self, *costs: float) -> Generator:
@@ -144,15 +152,15 @@ class DUFSClient:
         return result
 
     def _get_payload(self, path: str) -> Generator:
-        """Znode lookup (step B of Fig. 3): payload + znode stat."""
-        self.stats["zk_reads"] += 1
+        """Znode lookup (step B of Fig. 3): payload + znode stat, served
+        from the coherent metadata cache when one is enabled."""
         try:
-            data, zstat = yield from self.zk.get(path)
+            result = yield from self.mdcache.get_payload(path)
         except NoNodeError:
             raise (yield from self._resolve_error(path)) from None
         except ZKError as exc:
             raise _map_zk_error(exc, path) from None
-        return decode_payload(data), zstat
+        return result
 
     def _resolve_error(self, path: str) -> Generator:
         """POSIX path-walk error: a missing path is ENOTDIR when the
@@ -161,7 +169,7 @@ class DUFSClient:
         on error paths.)"""
         parent = path.rsplit("/", 1)[0] or "/"
         while parent != "/":
-            if parent in self._vdir_cache:
+            if self.mdcache.known_dir(parent):
                 return FSError(ENOENT, path)
             self.stats["zk_reads"] += 1
             try:
@@ -170,7 +178,7 @@ class DUFSClient:
                 parent = parent.rsplit("/", 1)[0] or "/"
                 continue
             if isinstance(decode_payload(data), DirPayload):
-                self._vdir_cache.add(parent)
+                self.mdcache.note_dir(parent)
                 return FSError(ENOENT, path)
             return FSError(ENOTDIR, path)
         return FSError(ENOENT, path)
@@ -183,12 +191,12 @@ class DUFSClient:
         falling back to one znode read on a cold path.
         """
         parent = path.rsplit("/", 1)[0] or "/"
-        if parent == "/" or parent in self._vdir_cache:
+        if parent == "/" or self.mdcache.known_dir(parent):
             return
         payload, _ = yield from self._get_payload(parent)
         if not isinstance(payload, DirPayload):
             raise FSError(ENOTDIR, path)
-        self._vdir_cache.add(parent)
+        self.mdcache.note_dir(parent)
 
     def _locate(self, fid: int) -> Tuple[int, str]:
         """Steps C/D of Fig. 3: deterministic mapping, physical path."""
@@ -229,12 +237,12 @@ class DUFSClient:
                     data = None
                 if data is not None and isinstance(decode_payload(data),
                                                    DirPayload):
-                    self._vdir_cache.add(path)
+                    self.mdcache.note_created(path, is_dir=True)
                     return True
             raise _map_zk_error(exc, path) from None
         except ZKError as exc:
             raise _map_zk_error(exc, path) from None
-        self._vdir_cache.add(path)
+        self.mdcache.note_created(path, is_dir=True)
         return True
 
     def rmdir(self, path: str) -> Generator:
@@ -252,16 +260,15 @@ class DUFSClient:
                 raise _map_zk_error(exc, path) from None
         except ZKError as exc:
             raise _map_zk_error(exc, path) from None
-        self._vdir_cache.discard(path)
+        self.mdcache.note_removed(path)
         return True
 
     def readdir(self, path: str) -> Generator:
         path = normalize_path(path)
         self.stats["ops"] += 1
         yield from self._logic()
-        self.stats["zk_reads"] += 1
         try:
-            names = yield from self.zk.get_children(path)
+            names = yield from self.mdcache.get_children(path)
         except ZKError as exc:
             raise _map_zk_error(exc, path) from None
         # readdir-plus: fetch child types in parallel (FUSE fill_dir).
@@ -336,6 +343,7 @@ class DUFSClient:
             if self.zk.last_retries:
                 mine = yield from self._znode_has_fid(path, fid)
                 if mine:
+                    self.mdcache.note_created(path)
                     return True
             yield from self._rollback_physical(backend, ppath)
             raise _map_zk_error(exc, path) from None
@@ -347,6 +355,7 @@ class DUFSClient:
             # orphaned physical file.
             mine = yield from self._znode_has_fid(path, fid)
             if mine:
+                self.mdcache.note_created(path)
                 return True
             if mine is False:
                 yield from self._rollback_physical(backend, ppath)
@@ -355,6 +364,7 @@ class DUFSClient:
             # Roll the physical file back; the name was never published.
             yield from self._rollback_physical(backend, ppath)
             raise _map_zk_error(exc, path) from None
+        self.mdcache.note_created(path)
         return True
 
     def _znode_has_fid(self, path: str, fid: int) -> Generator:
@@ -395,6 +405,7 @@ class DUFSClient:
                 raise _map_zk_error(exc, path) from None
         except ZKError as exc:
             raise _map_zk_error(exc, path) from None
+        self.mdcache.note_removed(path)
         if isinstance(payload, FilePayload):
             yield from self._logic(self.params.mapping_cpu)
             backend, ppath = self._locate(payload.fid)
@@ -507,6 +518,7 @@ class DUFSClient:
                                             version=zstat.version)
             except ZKError as exc:
                 raise _map_zk_error(exc, path) from None
+            self.mdcache.note_changed(path)
             return True
         if isinstance(payload, SymlinkPayload):
             return True  # chmod on symlinks is a no-op
@@ -520,6 +532,7 @@ class DUFSClient:
             yield from self.zk.set_data(path, new.encode())
         except ZKError:
             pass
+        self.mdcache.note_changed(path)
         return True
 
     # -- symlinks (metadata only) ------------------------------------------------
@@ -534,6 +547,7 @@ class DUFSClient:
                                       SymlinkPayload(target).encode())
         except ZKError as exc:
             raise _map_zk_error(exc, linkpath) from None
+        self.mdcache.note_created(linkpath)
         return True
 
     def readlink(self, path: str) -> Generator:
@@ -575,6 +589,9 @@ class DUFSClient:
             yield from self.zk.multi(ops)
         except ZKError as exc:
             raise _map_zk_error(exc, dst) from None
+        self.mdcache.note_removed(src)
+        self.mdcache.note_removed(dst)
+        self.mdcache.note_created(dst)
         # Overwritten file's contents are garbage-collected.
         if isinstance(dst_payload, FilePayload):
             backend, ppath = self._locate(dst_payload.fid)
@@ -613,10 +630,12 @@ class DUFSClient:
             yield from self.zk.multi(ops)
         except ZKError as exc:
             raise _map_zk_error(exc, dst) from None
-        # Every cached dir path under the old prefix is now stale.
-        for cached in [c for c in self._vdir_cache
-                       if c == src or c.startswith(src + "/")]:
-            self._vdir_cache.discard(cached)
+        # Everything cached under the old prefix is now stale, and so is
+        # anything remembered about the target subtree (e.g. negative
+        # entries for paths the move just created).
+        self.mdcache.invalidate_subtree(src)
+        self.mdcache.invalidate_subtree(dst)
+        self.mdcache.note_created(dst, is_dir=True)
         return True
 
     def _collect_subtree(self, root: str) -> Generator:

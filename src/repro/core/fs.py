@@ -14,7 +14,7 @@ from typing import Any, List, Optional, Sequence
 
 from ..fuse.mount import FuseMount
 from ..fuse.ops import OperationTable
-from ..models.params import FaultToleranceParams, SimParams
+from ..models.params import CacheParams, FaultToleranceParams, SimParams
 from ..pfs.localfs import LocalFS
 from ..pfs.lustre.fs import build_lustre
 from ..pfs.pvfs.fs import build_pvfs
@@ -99,6 +99,7 @@ def build_dufs_deployment(
     fault: Optional[FaultToleranceParams] = None,
     bus: Optional[TraceBus] = None,
     trace: bool = False,
+    cache: Optional[CacheParams] = None,
 ) -> DUFSDeployment:
     """Wire up a complete DUFS installation on a fresh simulated cluster.
 
@@ -120,9 +121,17 @@ def build_dufs_deployment(
     (``deployment.bus``). Recording is pure bookkeeping: it adds no
     simulator events, so traced and untraced runs are event-for-event
     identical.
+
+    Caching: ``cache`` (default: ``params.cache``, disabled) enables the
+    per-client coherent metadata cache
+    (:class:`~repro.core.mdcache.MDCache`) — positive/negative/readdir
+    entries invalidated by ZooKeeper watches, with read coalescing. The
+    default policy is off, which keeps the RPC stream byte-identical to a
+    deployment without the cache layer.
     """
     params = params or SimParams()
     fault = fault or params.fault
+    cache = cache or params.cache
     if bus is None and trace:
         bus = TraceBus()
     cluster = Cluster(seed=seed if seed else params.seed)
@@ -159,7 +168,8 @@ def build_dufs_deployment(
         # disjoint from the global allocator used by ad-hoc clients), so
         # identical seeds produce identical FIDs and placements.
         dufs = DUFSClient(node, zkc, backend_clients, params=params.dufs,
-                          mapping=mapping, client_id=0x5EED0000 + i)
+                          mapping=mapping, client_id=0x5EED0000 + i,
+                          cache=cache, bus=bus, name=f"dufs{i}")
         if bus is not None:
             instrument_client(dufs, TRACED_CLIENT_OPS, bus,
                               deployment="dufs", endpoint=f"dufs{i}",

@@ -1,0 +1,365 @@
+"""Coherent per-client metadata cache for the DUFS client.
+
+Every DUFS metadata op pays at least one ZooKeeper round trip even when
+the client just resolved the same path: ``stat``, ``readdir``, ``access``
+and the parent-directory checks in ``create``/``mkdir`` all re-read
+znodes. The paper's read path scales by serving reads from the local ZK
+server (Fig. 7/8); this layer adds the next step — FalconFS/λFS-style
+client-side caching of resolved metadata, kept coherent with one-shot
+ZooKeeper watches:
+
+- **positive entries** — path -> (decoded payload, znode stat), filled on
+  every successful lookup, invalidated by the data watch registered with
+  the read that filled them;
+- **negative entries** — paths known to be absent, TTL-bounded (negatives
+  carry no watch, so they default to off);
+- **readdir listings** — path -> child names, invalidated by the child
+  watch registered with the ``get_children`` that filled them. The
+  readdir-plus child lookups populate positive entries, so a
+  stat-after-readdir sweep (``ls -l``) is served entirely from cache;
+- **read coalescing** — concurrent same-path lookups on one client share
+  a single in-flight ZK RPC via a waiter event keyed by path;
+- **watch-loss flush** — the whole cache is dropped when the ZK client
+  re-establishes its session or fails over to another server (either way
+  the watch registrations that guarantee coherence may be gone).
+
+The cache also owns the *virtual-directory dcache* the client always had
+(the ``_vdir_cache`` set emulating kernel-dcache parent-type checks), so
+directory-kill invalidation has one code path: ``rmdir``, ``rename`` and
+chaos-retry reconciliation all funnel through :meth:`invalidate_subtree`.
+
+With the default policy (``CacheParams.enabled = False``) every lookup
+goes straight to ZooKeeper and nothing is recorded: a cache-off
+deployment issues an RPC stream byte-identical to one built before this
+module existed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..models.params import CacheParams
+from ..sim.core import Event
+from ..svc import NULL_BUS, TraceBus
+from ..zk.client import ZKClient
+from ..zk.errors import NoNodeError
+from ..zk.protocol import WatchEvent
+from .metadata import DirPayload, decode_payload
+
+
+@dataclass
+class _Entry:
+    """One positive cache entry: decoded payload + znode stat snapshot."""
+
+    payload: Any
+    zstat: Any
+    expires: Optional[float]        # None = no TTL bound (watch-coherent)
+
+
+class MDCache:
+    """Per-client coherent metadata cache (see module docstring).
+
+    ``client_stats`` is the owning client's counter dict: real ZooKeeper
+    reads issued by the cache are charged there as ``zk_reads`` so the
+    client's accounting is identical whether a lookup goes through the
+    cache or not.
+    """
+
+    COUNTERS = ("hits", "misses", "neg_hits", "listing_hits",
+                "listing_misses", "coalesced", "invalidations",
+                "watch_invalidations", "flushes", "evictions")
+
+    def __init__(
+        self,
+        node,
+        zk: ZKClient,
+        params: Optional[CacheParams] = None,
+        client_stats: Optional[Dict[str, int]] = None,
+        bus: Optional[TraceBus] = None,
+        endpoint: str = "mdcache",
+    ):
+        self.node = node
+        self.sim = node.sim
+        self.zk = zk
+        self.params = params or CacheParams()
+        self.client_stats = client_stats if client_stats is not None \
+            else {"zk_reads": 0}
+        self.bus = bus if bus is not None else NULL_BUS
+        self.endpoint = endpoint
+        self.counters: Dict[str, int] = {k: 0 for k in self.COUNTERS}
+
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._negatives: "OrderedDict[str, float]" = OrderedDict()
+        self._listings: "OrderedDict[str, Tuple[Tuple[str, ...], Optional[float]]]" = OrderedDict()
+        # Paths with a registered-and-unfired watch: one watch covers both
+        # the entry and the listing for a path, and is re-registered on the
+        # first fetch after it fires (one-shot semantics).
+        self._watched: set = set()
+        # In-flight lookups (read coalescing): path -> waiter event.
+        self._inflight: Dict[str, Event] = {}
+        # The virtual-directory dcache (paths known to be directories) —
+        # always active, cache enabled or not: it emulates the kernel
+        # dcache parent-type checks the real FUSE prototype gets for free.
+        self._dirs: set = set()
+
+        if self.params.enabled:
+            zk.watch_loss_listeners.append(self._on_watch_loss)
+
+    # -- bookkeeping --------------------------------------------------------
+    def _mark(self, kind: str) -> None:
+        self.counters[kind] += 1
+        if self.bus is not NULL_BUS:
+            self.bus.mark("mdcache", self.endpoint, kind, self.sim.now)
+
+    def hit_rate(self) -> float:
+        """Positive-lookup hit rate (hits / lookups) since construction."""
+        c = self.counters
+        total = c["hits"] + c["misses"] + c["coalesced"]
+        return c["hits"] / total if total else 0.0
+
+    # -- virtual-directory dcache (always on) -------------------------------
+    def known_dir(self, path: str) -> bool:
+        if path in self._dirs:
+            return True
+        if not self.params.enabled:
+            return False
+        ent = self._entries.get(path)
+        return ent is not None and isinstance(ent.payload, DirPayload) \
+            and (ent.expires is None or self.sim.now < ent.expires)
+
+    def note_dir(self, path: str) -> None:
+        self._dirs.add(path)
+
+    # -- lookups -------------------------------------------------------------
+    def get_payload(self, path: str) -> Generator:
+        """Resolve ``path`` to (decoded payload, znode stat).
+
+        Raises the raw ZooKeeper errors (``NoNodeError`` &c.); the client
+        maps them to POSIX errors exactly as it does for a direct read.
+        """
+        p = self.params
+        if not p.enabled:
+            result = yield from self._fetch(path, register_watch=False)
+            return result
+        now = self.sim.now
+        ent = self._entries.get(path)
+        if ent is not None:
+            if ent.expires is None or now < ent.expires:
+                self._entries.move_to_end(path)
+                self._mark("hits")
+                if p.hit_cpu:
+                    yield from self.node.cpu_work(p.hit_cpu)
+                return ent.payload, ent.zstat
+            self._entries.pop(path, None)       # TTL expired
+        neg_exp = self._negatives.get(path)
+        if neg_exp is not None:
+            if now < neg_exp:
+                self._mark("neg_hits")
+                if p.hit_cpu:
+                    yield from self.node.cpu_work(p.hit_cpu)
+                raise NoNodeError(path)
+            self._negatives.pop(path, None)
+        result = yield from self._coalesced_fetch(path)
+        return result
+
+    def get_children(self, path: str) -> Generator:
+        """Child-name listing for ``path``, cached with a child watch."""
+        p = self.params
+        if not p.enabled:
+            self.client_stats["zk_reads"] = \
+                self.client_stats.get("zk_reads", 0) + 1
+            names = yield from self.zk.get_children(path)
+            return names
+        cached = self._listings.get(path)
+        if cached is not None:
+            names, expires = cached
+            if expires is None or self.sim.now < expires:
+                self._listings.move_to_end(path)
+                self._mark("listing_hits")
+                if p.hit_cpu:
+                    yield from self.node.cpu_work(p.hit_cpu)
+                return list(names)
+            self._listings.pop(path, None)
+        self._mark("listing_misses")
+        self.client_stats["zk_reads"] = \
+            self.client_stats.get("zk_reads", 0) + 1
+        watch = None if path in self._watched else self._on_watch
+        names = yield from self.zk.get_children(path, watch=watch)
+        if watch is not None:
+            self._watched.add(path)
+        expires = self.sim.now + p.ttl if p.ttl > 0 else None
+        self._listings[path] = (tuple(names), expires)
+        self._listings.move_to_end(path)
+        while len(self._listings) > p.listing_capacity:
+            self._listings.popitem(last=False)
+            self.counters["evictions"] += 1
+        return names
+
+    # -- fetch path ----------------------------------------------------------
+    def _coalesced_fetch(self, path: str) -> Generator:
+        p = self.params
+        waiter = self._inflight.get(path)
+        if waiter is not None and p.coalesce:
+            self._mark("coalesced")
+            result = yield waiter       # (payload, zstat), or raises
+            return result
+        ev = self.sim.event() if p.coalesce else None
+        if ev is not None:
+            self._inflight[path] = ev
+        self._mark("misses")
+        try:
+            payload, zstat = yield from self._fetch(path, register_watch=True)
+        except BaseException as exc:
+            if ev is not None:
+                if self._inflight.get(path) is ev:
+                    del self._inflight[path]
+                ev.fail(exc)
+                ev._used = True         # pre-handled: waiters are optional
+            if isinstance(exc, NoNodeError) and p.negative_ttl > 0:
+                self._negatives[path] = self.sim.now + p.negative_ttl
+                self._negatives.move_to_end(path)
+                while len(self._negatives) > p.negative_capacity:
+                    self._negatives.popitem(last=False)
+                    self.counters["evictions"] += 1
+            raise
+        if ev is not None and self._inflight.get(path) is ev:
+            del self._inflight[path]
+        if ev is not None:
+            ev.succeed((payload, zstat))
+        self._store(path, payload, zstat)
+        return payload, zstat
+
+    def _fetch(self, path: str, register_watch: bool) -> Generator:
+        """One real ZooKeeper read (charged to the client's ``zk_reads``)."""
+        self.client_stats["zk_reads"] = \
+            self.client_stats.get("zk_reads", 0) + 1
+        watch = self._on_watch if register_watch \
+            and path not in self._watched else None
+        data, zstat = yield from self.zk.get(path, watch=watch)
+        if watch is not None:
+            self._watched.add(path)
+        return decode_payload(data), zstat
+
+    def _store(self, path: str, payload: Any, zstat: Any) -> None:
+        p = self.params
+        self._negatives.pop(path, None)
+        expires = self.sim.now + p.ttl if p.ttl > 0 else None
+        self._entries[path] = _Entry(payload, zstat, expires)
+        self._entries.move_to_end(path)
+        if isinstance(payload, DirPayload):
+            self._dirs.add(path)
+        while len(self._entries) > p.capacity:
+            self._entries.popitem(last=False)
+            self.counters["evictions"] += 1
+
+    # -- invalidation --------------------------------------------------------
+    def _invalidate_path(self, path: str, count: bool = True) -> None:
+        dropped = self._entries.pop(path, None) is not None
+        dropped |= self._listings.pop(path, None) is not None
+        dropped |= self._negatives.pop(path, None) is not None
+        if dropped and count:
+            self._mark("invalidations")
+
+    def note_created(self, path: str, is_dir: bool = False) -> None:
+        """Read-your-writes after a successful create/mkdir/symlink: the
+        path is no longer a negative and the parent's listing grew."""
+        if is_dir:
+            self._dirs.add(path)
+        if not self.params.enabled:
+            return
+        self._negatives.pop(path, None)
+        parent = path.rsplit("/", 1)[0] or "/"
+        self._listings.pop(parent, None)
+
+    def note_removed(self, path: str) -> None:
+        """After unlink/rmdir: kill the path (and, for a directory, any
+        stale descendants — one code path for every directory kill)."""
+        if path in self._dirs or (self.params.enabled
+                                  and path in self._entries):
+            self.invalidate_subtree(path)
+        else:
+            self._dirs.discard(path)
+            if self.params.enabled:
+                self._invalidate_path(path)
+        if self.params.enabled:
+            parent = path.rsplit("/", 1)[0] or "/"
+            self._listings.pop(parent, None)
+
+    def note_changed(self, path: str) -> None:
+        """After set_data/chmod through this client: entry is stale."""
+        if self.params.enabled:
+            self._invalidate_path(path)
+
+    def invalidate_subtree(self, root: str) -> None:
+        """Drop ``root`` and everything cached beneath it — the single
+        directory-kill code path used by rmdir, rename, and chaos
+        reconciliation."""
+        prefix = root + "/"
+
+        def doomed(path: str) -> bool:
+            return path == root or path.startswith(prefix)
+
+        for path in [d for d in self._dirs if doomed(d)]:
+            self._dirs.discard(path)
+        if not self.params.enabled:
+            return
+        hit = False
+        for table in (self._entries, self._listings, self._negatives):
+            for path in [k for k in table if doomed(k)]:
+                del table[path]
+                hit = True
+        if hit:
+            self._mark("invalidations")
+
+    # -- coherence events ----------------------------------------------------
+    def _on_watch(self, event: WatchEvent) -> None:
+        """One-shot ZooKeeper watch fired: the znode (or its child list)
+        changed behind our back — drop everything cached for the path."""
+        self._watched.discard(event.path)
+        dropped = self._entries.pop(event.path, None) is not None
+        dropped |= self._listings.pop(event.path, None) is not None
+        dropped |= self._negatives.pop(event.path, None) is not None
+        if event.kind == "deleted":
+            self._dirs.discard(event.path)
+        if dropped:
+            self._mark("watch_invalidations")
+
+    def _on_watch_loss(self, reason: str) -> None:
+        """Session re-established or server fail-over: every watch this
+        cache relies on may be gone — flush wholesale."""
+        self.flush()
+
+    def flush(self) -> None:
+        if not (self._entries or self._listings or self._negatives
+                or self._dirs or self._watched):
+            return
+        self._entries.clear()
+        self._listings.clear()
+        self._negatives.clear()
+        self._watched.clear()
+        self._dirs.clear()
+        self._mark("flushes")
+
+    # -- introspection -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def summary(self) -> str:
+        c = self.counters
+        return (f"{self.endpoint}: {len(self._entries)} entries, "
+                f"{len(self._listings)} listings, hit-rate "
+                f"{self.hit_rate():.1%} (hits={c['hits']} "
+                f"misses={c['misses']} coalesced={c['coalesced']} "
+                f"neg={c['neg_hits']} inval={c['invalidations']}"
+                f"+{c['watch_invalidations']}w flushes={c['flushes']})")
+
+
+def aggregate_counters(caches: List[MDCache]) -> Dict[str, int]:
+    """Sum per-client cache counters (bench/CLI reporting helper)."""
+    out: Dict[str, int] = {k: 0 for k in MDCache.COUNTERS}
+    for cache in caches:
+        for k, v in cache.counters.items():
+            out[k] += v
+    return out

@@ -214,6 +214,41 @@ class DUFSParams:
 
 
 @dataclass
+class CacheParams:
+    """Client-side coherent metadata cache (:mod:`repro.core.mdcache`).
+
+    Disabled by default: a deployment built with the default policy issues
+    exactly the same ZooKeeper RPC stream as one built before the cache
+    existed (the trace-determinism tests rely on this). With ``enabled``
+    the DUFS client caches positive lookups (path -> payload + znode
+    stat), negative lookups, and readdir listings, keeps them coherent
+    with one-shot ZooKeeper watches registered at read time, and
+    coalesces concurrent same-path lookups into one in-flight RPC.
+
+    ``ttl`` bounds how long a positive entry may be served without
+    revalidation: 0 means no time bound — staleness is bounded only by
+    watch delivery (one cast after the write commits) plus the
+    watch-loss flush on session re-establishment or server fail-over.
+    ``negative_ttl`` bounds ENOENT caching; negatives carry no watch, so
+    0 (off) is the coherent default.
+    """
+
+    enabled: bool = False
+    capacity: int = 4096               # positive entries (LRU)
+    listing_capacity: int = 512        # readdir listings (LRU)
+    negative_capacity: int = 1024      # cached ENOENTs (LRU)
+    ttl: float = 0.0                   # 0 = watch-coherent, no time bound
+    negative_ttl: float = 0.0          # 0 = negative caching off
+    coalesce: bool = True              # share in-flight same-path lookups
+    hit_cpu: float = 1.5e-6            # client CPU per cache hit
+
+    @classmethod
+    def caching_on(cls, **overrides) -> "CacheParams":
+        """The standard enabled policy used by benchmarks and chaos runs."""
+        return cls(enabled=True, **overrides)
+
+
+@dataclass
 class SimParams:
     """Bundle of every model, plus testbed-level knobs."""
 
@@ -223,6 +258,7 @@ class SimParams:
     fuse: FUSEParams = field(default_factory=FUSEParams)
     dufs: DUFSParams = field(default_factory=DUFSParams)
     fault: FaultToleranceParams = field(default_factory=FaultToleranceParams)
+    cache: CacheParams = field(default_factory=CacheParams)
 
     node_cores: int = 8                # dual Xeon E5335
     client_op_cpu: float = 18e-6       # mdtest/app-side cost per op

@@ -85,6 +85,12 @@ class TraceBus:
         for fn in self._subscribers:
             fn(ev)
 
+    def mark(self, deployment: str, endpoint: str, method: str,
+             now: float, ok: bool = True) -> None:
+        """Record a zero-duration counter event (e.g. a cache hit): shows
+        up in the ``ops`` column of the table with no latency content."""
+        self.record(OpTrace(deployment, endpoint, method, now, now, now, ok))
+
     def subscribe(self, fn: Callable[[OpTrace], None]) -> None:
         self._subscribers.append(fn)
 

@@ -75,6 +75,13 @@ class ZKClient:
         self.agent.register_fast("watch_event", self._on_watch_event)
         self._watch_callbacks: dict[str, List[Callable[[WatchEvent], None]]] = {}
         self.default_watcher: Optional[Callable[[WatchEvent], None]] = None
+        # Invoked with a reason string whenever watches registered through
+        # this client may have been silently dropped: the session was
+        # re-established ("session"), or requests failed over to another
+        # server ("failover", typically because the watch-holding server
+        # crashed and lost its watch tables). Coherent caches layered on
+        # watches (repro.core.mdcache) subscribe and flush.
+        self.watch_loss_listeners: List[Callable[[str], None]] = []
 
     # -- session -----------------------------------------------------------
     def connect(self) -> Generator:
@@ -136,6 +143,7 @@ class ZKClient:
                         raise
                     self.session = None
                     yield from self.connect()
+                    self._notify_watch_loss("session")
                     if isinstance(args, WriteRequest):
                         args = self._rebind_session(args)
                 except (RpcTimeout, ConnectionLossError,
@@ -171,6 +179,11 @@ class ZKClient:
     def _fail_over(self) -> None:
         idx = self.servers.index(self.server)
         self.server = self.servers[(idx + 1) % len(self.servers)]
+        self._notify_watch_loss("failover")
+
+    def _notify_watch_loss(self, reason: str) -> None:
+        for fn in self.watch_loss_listeners:
+            fn(reason)
 
     def _watch_flag(self, watch) -> bool:
         if watch is None:
