@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""CI gate: rerun the shard-scaling sweep and compare against the
+committed baseline (``benchmarks/BENCH_shard.json``).
+
+Fails (exit 1) when the 4-shard ``file_create`` speedup over 1 shard
+falls under the 1.5x acceptance floor, or when any configuration's
+simulated throughput drops more than the tolerance (default 25%) below
+the baseline. Simulated throughput is deterministic for a given seed, so
+any drift is a real behavioural change in the model, not runner noise.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_shard_regression.py \
+        [--baseline benchmarks/BENCH_shard.json] [--tolerance 0.25]
+
+Refresh the baseline after an intentional perf change with::
+
+    PYTHONPATH=src python -m repro bench --shards 1,2,4 \
+        --json benchmarks/BENCH_shard.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.bench import (check_shard_regression, render_shard_scaling,
+                         run_shard_scaling)
+
+DEFAULT_BASELINE = (pathlib.Path(__file__).resolve().parent.parent
+                    / "benchmarks" / "BENCH_shard.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    args = parser.parse_args(argv)
+
+    baseline_path = pathlib.Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"error: baseline {baseline_path} not found", file=sys.stderr)
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+
+    counts = sorted((int(n) for n in baseline.get("shards", {})), key=int) \
+        or [1, 2, 4]
+    doc = run_shard_scaling(scale=baseline.get("scale", "quick"),
+                            seed=baseline.get("seed", 0),
+                            shard_counts=counts)
+    print(render_shard_scaling(doc))
+
+    failures = check_shard_regression(doc, baseline,
+                                      tolerance=args.tolerance)
+    if failures:
+        print()
+        for f in failures:
+            print(f"REGRESSION: {f}", file=sys.stderr)
+        return 1
+    print(f"\nok: scaling floor met, within {args.tolerance:.0%} of "
+          f"baseline ({baseline_path.name})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

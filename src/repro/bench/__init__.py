@@ -20,7 +20,13 @@ from .figures import (
     run_single_dir,
 )
 from .report import render_figure, render_headline
-from .trace_cli import run_trace
+from .shard_bench import (
+    check_shard_regression,
+    render_shard_scaling,
+    run_shard_scaling,
+    write_shard_bench_json,
+)
+from .trace_cli import run_trace, trace_rows
 
 __all__ = [
     "FigureResult",
@@ -28,7 +34,9 @@ __all__ = [
     "run_fig7", "run_fig8", "run_fig9", "run_fig10",
     "run_fig11", "run_headline_claims", "run_single_dir",
     "figure_to_csv", "write_figure_csv",
-    "render_figure", "render_headline", "run_trace",
+    "render_figure", "render_headline", "run_trace", "trace_rows",
     "run_cache_ablation", "render_cache_ablation",
     "write_cache_bench_json", "check_regression",
+    "run_shard_scaling", "render_shard_scaling",
+    "write_shard_bench_json", "check_shard_regression",
 ]

@@ -191,11 +191,21 @@ def check_regression(doc: Dict, baseline: Dict,
     Returns a list of human-readable failures: any cache-on phase whose
     simulated throughput dropped more than ``tolerance`` below the
     baseline, or a speedup that fell under the 2x acceptance floor for
-    the stat phases.
+    the stat phases. A phase missing from the baseline JSON (stale file
+    from before the phase existed, or hand-edited) is itself reported as
+    a failure with a regenerate hint — never a ``KeyError``.
     """
     failures = []
+    base_phases = baseline.get("on", {}).get("phases", {})
     for name in PHASES:
-        base = baseline["on"]["phases"][name]["ops_per_s"]
+        base_phase = base_phases.get(name)
+        if base_phase is None or "ops_per_s" not in base_phase:
+            failures.append(
+                f"{name}: missing from baseline JSON — regenerate it with "
+                f"'python -m repro bench --json "
+                f"benchmarks/BENCH_mdcache.json'")
+            continue
+        base = base_phase["ops_per_s"]
         cur = doc["on"]["phases"][name]["ops_per_s"]
         if base > 0 and cur < base * (1.0 - tolerance):
             failures.append(

@@ -1,0 +1,156 @@
+"""Shard-scaling benchmark: the metadata write ceiling as a scaling axis.
+
+The paper's Fig. 7/8 limitation — one ZooKeeper ensemble scales reads
+with server count but *degrades* writes, because every mutation pays one
+quorum round over the whole replica group — is exactly what the sharded
+metadata service removes. This benchmark runs the same mdtest workload at
+a fixed TOTAL ZooKeeper server budget split into 1, 2, and 4 independent
+ensembles (1x8 / 2x4 / 4x2), so the comparison is at equal hardware: the
+win comes purely from (a) smaller quorums per write and (b) N leaders
+committing in parallel.
+
+The create phases are the gate: hash-of-parent placement keeps mdtest
+creates shard-local, so ``file_create`` throughput should scale
+near-linearly until client-side work dominates. CI regenerates
+``benchmarks/BENCH_shard.json`` and fails if 4 shards stop clearing the
+1.5x acceptance floor over 1 shard (:func:`check_shard_regression`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from ..core.fs import build_dufs_deployment
+from ..models.params import SimParams
+from ..workloads.mdtest import MdtestConfig, run_mdtest
+
+_SCALES = {
+    # scale -> (n_zk_total, n_client_nodes, n_procs, items_per_proc)
+    "quick": (8, 4, 8, 20),
+    "medium": (8, 8, 32, 40),
+    "full": (16, 8, 64, 80),
+}
+
+#: Phases measured; the create phases are the scaling claim.
+PHASES = ("dir_create", "file_create", "file_stat", "file_remove")
+
+#: The acceptance gate: 4-shard file_create >= FLOOR x 1-shard.
+CREATE_PHASE = "file_create"
+SPEEDUP_FLOOR = 1.5
+
+
+def _run_one(n_shards: int, scale: str, seed: int) -> Dict:
+    n_zk, n_clients, n_procs, items = _SCALES[scale]
+    dep = build_dufs_deployment(n_zk=n_zk, n_backends=2,
+                                n_client_nodes=n_clients, backend="local",
+                                params=SimParams(), seed=seed,
+                                n_shards=n_shards)
+    cfg = MdtestConfig(n_procs=n_procs, items_per_proc=items, phases=PHASES)
+    result = run_mdtest(dep.cluster, dep.mount_for, dep.node_for, cfg)
+    servers_per_shard = max(1, n_zk // n_shards)
+    doc = {
+        "n_shards": n_shards,
+        "servers_per_shard": servers_per_shard,
+        "phases": {name: {"ops": r.ops, "duration": r.duration,
+                          "ops_per_s": r.throughput}
+                   for name, r in result.phases.items()},
+    }
+    if n_shards > 1:
+        svc = dep.clients[0].zk
+        doc["mds"] = {k: sum(c.zk.stats[k] for c in dep.clients)
+                      for k in svc.stats}
+    return doc
+
+
+def run_shard_scaling(scale: str = "quick", seed: int = 0,
+                      shard_counts: Sequence[int] = (1, 2, 4)) -> Dict:
+    """Run the sweep; returns a JSON-ready result document."""
+    n_zk, n_clients, n_procs, items = _SCALES[scale]
+    runs = {str(n): _run_one(n, scale, seed) for n in shard_counts}
+    base = runs[str(shard_counts[0])]
+    doc = {
+        "benchmark": "shard_scaling",
+        "scale": scale,
+        "seed": seed,
+        "n_zk_total": n_zk,
+        "n_procs": n_procs,
+        "items_per_proc": items,
+        "shards": runs,
+        "speedup_vs_1": {
+            str(n): {
+                name: (runs[str(n)]["phases"][name]["ops_per_s"]
+                       / base["phases"][name]["ops_per_s"]
+                       if base["phases"][name]["ops_per_s"] else 0.0)
+                for name in PHASES
+            }
+            for n in shard_counts
+        },
+    }
+    return doc
+
+
+def render_shard_scaling(doc: Dict) -> str:
+    counts = sorted(doc["shards"], key=int)
+    lines = [f"shard scaling (scale={doc['scale']} seed={doc['seed']}, "
+             f"{doc['n_zk_total']} ZK servers total, "
+             f"{doc['n_procs']} procs x {doc['items_per_proc']} items):",
+             f"  {'phase':<12} " + " ".join(
+                 f"{n + ' shard(s)':>14}" for n in counts)
+             + f" {'speedup':>8}"]
+    last = counts[-1]
+    for name in PHASES:
+        cells = " ".join(
+            f"{doc['shards'][n]['phases'][name]['ops_per_s']:>14,.0f}"
+            for n in counts)
+        lines.append(f"  {name:<12} {cells} "
+                     f"{doc['speedup_vs_1'][last][name]:>7.2f}x")
+    gate = doc["speedup_vs_1"][last][CREATE_PHASE]
+    lines.append(f"  gate: {CREATE_PHASE} at {last} shards = {gate:.2f}x "
+                 f"(floor {SPEEDUP_FLOOR}x)")
+    return "\n".join(lines)
+
+
+def write_shard_bench_json(doc: Dict, path: str) -> str:
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def check_shard_regression(doc: Dict, baseline: Optional[Dict] = None,
+                           tolerance: float = 0.25) -> List[str]:
+    """Gate a fresh sweep: the create-phase scaling floor always applies;
+    with a committed ``baseline``, per-configuration throughput must also
+    stay within ``tolerance`` of it. Returns human-readable failures."""
+    failures = []
+    counts = sorted(doc["shards"], key=int)
+    top = counts[-1]
+    gate = doc["speedup_vs_1"].get(top, {}).get(CREATE_PHASE, 0.0)
+    if gate < SPEEDUP_FLOOR:
+        failures.append(
+            f"{CREATE_PHASE}: {top}-shard speedup {gate:.2f}x < "
+            f"{SPEEDUP_FLOOR}x acceptance floor")
+    if baseline is not None:
+        for n in counts:
+            base_run = baseline.get("shards", {}).get(n)
+            if base_run is None:
+                failures.append(
+                    f"baseline has no entry for {n} shard(s) — "
+                    f"regenerate the baseline JSON")
+                continue
+            for name in PHASES:
+                base_phase = base_run.get("phases", {}).get(name)
+                if base_phase is None:
+                    failures.append(
+                        f"baseline {n}-shard run has no phase {name!r} — "
+                        f"regenerate the baseline JSON")
+                    continue
+                base = base_phase["ops_per_s"]
+                cur = doc["shards"][n]["phases"][name]["ops_per_s"]
+                if base > 0 and cur < base * (1.0 - tolerance):
+                    failures.append(
+                        f"{name} @ {n} shard(s): throughput {cur:,.0f} "
+                        f"ops/s is >{tolerance:.0%} below baseline "
+                        f"{base:,.0f}")
+    return failures

@@ -12,7 +12,19 @@ disk):
   benign direction, which is why the client's rollback logic prefers it).
 - ``duplicate-fid`` — two znodes claiming the same FID.
 - ``bad-payload`` — a znode whose data field does not decode.
-- ``tree-invariant`` — a child hanging off a non-directory znode.
+- ``tree-invariant`` — a child hanging off a non-directory znode (or a
+  child whose parent znode is missing altogether — possible only as
+  cross-shard crash residue).
+
+Sharded deployments (``deployment.n_shards > 1``) are audited on a
+*merged* view: each shard contributes the freshest replica of its
+ensemble, only **home copies** are authoritative (child-host anchor
+copies and placeholders are routing artifacts and are skipped), and any
+surviving cross-shard *intent records* (``/.dufs-intent/…``) are rolled
+forward into the view first — exactly the reconciliation a recovery tool
+would run, counted in ``AuditReport.repairs``. A crash mid cross-shard
+rename therefore audits clean: the intent record deterministically
+finishes the operation.
 
 The report is machine-readable (:meth:`AuditReport.to_dict`) and
 deterministic: violations are sorted, so two runs with the same seed and
@@ -46,6 +58,7 @@ class AuditReport:
     checked_znodes: int = 0
     checked_files: int = 0
     violations: List[Violation] = field(default_factory=list)
+    repairs: int = 0        # intent-record steps rolled forward (sharded)
 
     @property
     def ok(self) -> bool:
@@ -59,6 +72,7 @@ class AuditReport:
             "ok": self.ok,
             "checked_znodes": self.checked_znodes,
             "checked_files": self.checked_files,
+            "repairs": self.repairs,
             "violations": [
                 {"kind": v.kind, "path": v.path, "detail": v.detail}
                 for v in sorted(self.violations,
@@ -67,8 +81,9 @@ class AuditReport:
         }
 
     def to_text(self) -> str:
+        repaired = f", {self.repairs} intent repairs" if self.repairs else ""
         lines = [f"audit: {self.checked_znodes} znodes, "
-                 f"{self.checked_files} physical files -> "
+                 f"{self.checked_files} physical files{repaired} -> "
                  f"{'CLEAN' if self.ok else f'{len(self.violations)} violations'}"]
         for v in sorted(self.violations,
                         key=lambda v: (v.kind, v.path, v.detail)):
@@ -145,14 +160,56 @@ def freshest_store(ensemble) -> ZnodeStore:
     return max(servers, key=lambda s: s.commit_index).store
 
 
+def merged_namespace_view(deployment) -> Tuple[Dict[str, bytes], int]:
+    """The sharded deployment's namespace as one ``{path: data}`` dict.
+
+    Each shard contributes its ensemble's freshest replica; only *home
+    copies* are authoritative (child-host anchors/placeholders are routing
+    artifacts). Surviving cross-shard intent records are rolled forward
+    into the view, reconciling interrupted operations. Returns the view
+    and the number of roll-forward repairs applied.
+    """
+    from ..mds import INTENT_ROOT, apply_intent_to_view, decode_intent
+
+    service = deployment.clients[0].zk
+    shard_map = service.map
+    view: Dict[str, bytes] = {}
+    intents: List[Tuple[str, bytes]] = []
+    for k, ensemble in enumerate(deployment.ensembles):
+        store = freshest_store(ensemble)
+        for path in store.walk_paths():
+            if path == "/":
+                continue
+            if path == INTENT_ROOT or path.startswith(INTENT_ROOT + "/"):
+                if path != INTENT_ROOT:
+                    intents.append((path, store.get(path)[0]))
+                continue
+            if shard_map.home_shard(path) == k:
+                view[path] = store.get(path)[0]
+    repairs = 0
+    for _path, data in sorted(intents):
+        try:
+            steps = decode_intent(data)
+        except (ValueError, UnicodeDecodeError):
+            continue
+        repairs += apply_intent_to_view(view, steps)
+    return view, repairs
+
+
 def audit_dufs(deployment, store: Optional[ZnodeStore] = None) -> AuditReport:
     """Cross-check a DUFS deployment's ZK namespace against its back-ends.
 
     ``deployment`` is a :class:`~repro.core.fs.DUFSDeployment`; ``store``
-    overrides the znode tree to audit (default: the freshest replica).
+    overrides the znode tree to audit (default: the freshest replica of
+    each shard's ensemble, merged and intent-reconciled when sharded).
     """
     report = AuditReport()
-    store = store or freshest_store(deployment.ensemble)
+    if store is not None or getattr(deployment, "n_shards", 1) <= 1:
+        store = store or freshest_store(deployment.ensemble)
+        view: Dict[str, bytes] = {p: store.get(p)[0]
+                                  for p in store.walk_paths() if p != "/"}
+    else:
+        view, report.repairs = merged_namespace_view(deployment)
     client = deployment.clients[0]
     mapping, layout = client.mapping, client.layout
 
@@ -160,19 +217,22 @@ def audit_dufs(deployment, store: Optional[ZnodeStore] = None) -> AuditReport:
     # physical file set, and check structural invariants.
     expected: Dict[Tuple[int, str], str] = {}   # (backend, ppath) -> vpath
     fids: Dict[int, str] = {}
-    for path in store.walk_paths():
-        if path == "/":
-            continue
+    for path in view:
         report.checked_znodes += 1
-        data, _stat = store.get(path)
+        data = view[path]
         parent = path.rsplit("/", 1)[0] or "/"
         if parent != "/":
-            pdata, _ = store.get(parent)
+            pdata = view.get(parent)
             try:
-                ppayload = decode_payload(pdata)
+                ppayload = decode_payload(pdata) if pdata is not None \
+                    else None
             except ValueError:
                 ppayload = None
-            if not isinstance(ppayload, DirPayload):
+            if pdata is None:
+                report.violations.append(Violation(
+                    "tree-invariant", path,
+                    f"parent {parent} znode is missing"))
+            elif not isinstance(ppayload, DirPayload):
                 report.violations.append(Violation(
                     "tree-invariant", path,
                     f"parent {parent} is not a directory znode"))

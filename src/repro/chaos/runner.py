@@ -12,7 +12,12 @@ schedule can be compared apples-to-apples:
 
 - ``meta:<i>`` — the i-th metadata server node (ZK server / the MDS / the
   i-th PVFS server)
-- ``zk:<i>`` / ``zk:leader`` — a specific ZooKeeper server (DUFS only)
+- ``zk:<i>`` / ``zk:leader`` — a specific ZooKeeper server (DUFS only;
+  with a sharded metadata plane the index runs over all shards' servers
+  in shard order)
+- ``shard:<k>`` — the current leader of metadata shard ``k``'s ensemble
+  (DUFS with ``shards > 1``): per-shard fault targeting, so a schedule
+  can kill exactly one namespace slice's quorum
 - ``client:<i>`` — the i-th client node
 - ``backend:<i>`` — DUFS back-end index (degraded mode)
 - ``fs`` — the filesystem object itself (``failover`` events)
@@ -90,18 +95,23 @@ def default_schedule(deployment: str, duration: float,
 
 
 # -- deployment adapters ----------------------------------------------------
-def _build_dufs(seed: int, cache: Optional[CacheParams] = None):
+def _build_dufs(seed: int, cache: Optional[CacheParams] = None,
+                shards: int = 1):
     from ..core import build_dufs_deployment
 
     params = SimParams()
     params.zk = ZKParams(failure_detection=True, session_tracking=True,
                          ping_interval=0.1, ping_timeout=0.3,
                          election_tick=0.05)
-    dep = build_dufs_deployment(n_zk=5, n_backends=2, n_client_nodes=2,
+    # shards == 1 keeps the historical 5-server build; sharded chaos runs
+    # give each shard a 3-server quorum (crash one and its slice elects).
+    n_zk = 5 if shards <= 1 else 3 * shards
+    dep = build_dufs_deployment(n_zk=n_zk, n_backends=2, n_client_nodes=2,
                                 backend="local", params=params,
                                 co_locate_zk=False, seed=seed,
                                 zk_request_timeout=0.4, zk_max_retries=10,
-                                cache=cache)
+                                cache=cache, n_shards=shards)
+    flat_servers = [s for ens in dep.ensembles for s in ens.servers]
 
     def resolve(symbol: str):
         kind, _, arg = symbol.partition(":")
@@ -110,8 +120,12 @@ def _build_dufs(seed: int, cache: Optional[CacheParams] = None):
             if leader is None:
                 raise RuntimeError("no ZooKeeper leader to crash")
             return leader.node
+        if kind == "shard":
+            ens = dep.ensembles[int(arg) % len(dep.ensembles)]
+            target = ens.leader or ens.servers[0]
+            return target.node
         if kind in ("zk", "meta"):
-            return dep.ensemble.servers[int(arg)].node
+            return flat_servers[int(arg)].node
         if kind == "client":
             return dep.client_nodes[int(arg)]
         if kind == "backend":
@@ -186,6 +200,7 @@ def run_chaos(
     audit: bool = True,
     on_event: Optional[Callable[[FaultSpec, tuple], None]] = None,
     cache: Optional[CacheParams] = None,
+    shards: int = 1,
 ) -> ChaosRunResult:
     """One chaos experiment: op stream + schedule replay + (DUFS) audit.
 
@@ -195,15 +210,19 @@ def run_chaos(
     schedule starts when the op stream does, after ``settle`` seconds of
     warm-up. ``cache`` (DUFS only) runs the clients with the coherent
     metadata cache enabled, so the audit doubles as a coherence check
-    under faults.
+    under faults. ``shards`` (DUFS only) runs the sharded metadata plane
+    (3 ZK servers per shard) and unlocks ``shard:<k>`` targets; the audit
+    then exercises the merged-view intent reconciliation.
     """
     if deployment not in DEPLOYMENTS:
         raise ValueError(f"unknown deployment {deployment!r}")
     if cache is not None and deployment != "dufs":
         raise ValueError("cache is a DUFS-only option")
+    if shards != 1 and deployment != "dufs":
+        raise ValueError("shards is a DUFS-only option")
     builder = _BUILDERS[deployment]
-    built = builder(seed, cache=cache) if deployment == "dufs" \
-        else builder(seed)
+    built = builder(seed, cache=cache, shards=shards) \
+        if deployment == "dufs" else builder(seed)
     cluster, dep, client, node, resolve, apply_backend = built
     duration = ops * op_interval
     if schedule is None:

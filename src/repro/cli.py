@@ -5,7 +5,11 @@ Usage::
     python -m repro fig7 [--scale quick|medium|full] [--seed N]
     python -m repro fig8 | fig9 | fig10 | fig11 | claims | ablations
     python -m repro trace [--backend local|lustre|pvfs] [--batch N] [--cache]
+                          [--shards N] [--json PATH|-]
     python -m repro bench [--json PATH]     # mdcache ablation, cache on vs off
+    python -m repro bench --shards 1,2,4    # shard-scaling sweep (equal total
+                                            # ZK servers split across shards)
+    python -m repro chaos --shards 4        # sharded metadata plane + shard:<k>
     python -m repro all --scale medium
 """
 
@@ -79,8 +83,25 @@ def main(argv=None) -> int:
                              "chaos; 'bench' always runs cache off AND on)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write machine-readable results to PATH "
-                             "(bench only; e.g. BENCH_mdcache.json)")
+                             "(bench and trace; '-' prints trace rows as "
+                             "JSON to stdout instead of the table)")
+    parser.add_argument("--shards", default=None,
+                        help="metadata shards: an int for trace/chaos "
+                             "(independent ZK ensembles behind a sharded "
+                             "metadata service), or a comma list like "
+                             "'1,2,4' for bench (runs the shard-scaling "
+                             "sweep at equal total ZK servers)")
     args = parser.parse_args(argv)
+
+    shard_counts = None
+    if args.shards is not None:
+        try:
+            shard_counts = [int(x) for x in args.shards.split(",") if x]
+        except ValueError:
+            parser.error(f"--shards must be an int or comma list, "
+                         f"got {args.shards!r}")
+        if not shard_counts or any(n < 1 for n in shard_counts):
+            parser.error("--shards values must be >= 1")
 
     targets = list(RUNNERS) + ["claims"] if args.target == "all" \
         else [args.target]
@@ -91,13 +112,24 @@ def main(argv=None) -> int:
             cache = CacheParams.caching_on() \
                 if args.cache and args.deployment == "dufs" else None
             result = run_chaos(args.deployment, seed=args.seed, ops=args.ops,
-                               cache=cache)
+                               cache=cache,
+                               shards=shard_counts[0] if shard_counts else 1)
             print(result.summary())
         elif target == "trace":
             from .bench.trace_cli import run_trace
             print(run_trace(scale=args.scale, backend=args.backend,
                             batch=args.batch, seed=args.seed,
-                            cache=args.cache))
+                            cache=args.cache,
+                            shards=shard_counts[0] if shard_counts else 1,
+                            json_path=args.json))
+        elif target == "bench" and shard_counts:
+            from .bench import (render_shard_scaling, run_shard_scaling,
+                                write_shard_bench_json)
+            doc = run_shard_scaling(scale=args.scale, seed=args.seed,
+                                    shard_counts=shard_counts)
+            print(render_shard_scaling(doc))
+            if args.json:
+                print(f"[json] {write_shard_bench_json(doc, args.json)}")
         elif target == "bench":
             from .bench import (render_cache_ablation, run_cache_ablation,
                                 write_cache_bench_json)

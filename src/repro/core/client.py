@@ -42,9 +42,9 @@ from ..pfs.base import (
     StatResult,
     normalize_path,
 )
+from ..mds import as_metadata_service
 from ..sim.core import AllOf
 from ..sim.node import Node
-from ..zk.client import ZKClient
 from ..zk.errors import (
     BadVersionError,
     ConnectionLossError,
@@ -82,7 +82,7 @@ class DUFSClient:
     def __init__(
         self,
         node: Node,
-        zk: ZKClient,
+        zk,
         backends: Sequence,
         params: Optional[DUFSParams] = None,
         mapping: Optional[MappingFunction] = None,
@@ -96,7 +96,10 @@ class DUFSClient:
             raise ValueError("DUFS needs at least one back-end mount")
         self.node = node
         self.sim = node.sim
-        self.zk = zk
+        # The namespace service: a raw ZKClient (wrapped into the paper's
+        # single-ensemble service) or any MetadataService — the client
+        # programs against the service interface only.
+        self.zk = as_metadata_service(zk)
         self.backends = list(backends)
         self.params = params or DUFSParams()
         self.mapping = mapping or MappingFunction(len(backends))
@@ -122,7 +125,7 @@ class DUFSClient:
         # real prototype gets for free from VFS), which stays active even
         # with caching disabled; with the default CacheParams every lookup
         # still goes straight to ZooKeeper.
-        self.mdcache = MDCache(node, zk, params=cache,
+        self.mdcache = MDCache(node, self.zk, params=cache,
                                client_stats=self.stats, bus=bus,
                                endpoint=name or "dufs-client")
 
@@ -216,6 +219,22 @@ class DUFSClient:
                     raise
             cache.add(d)
 
+    def ensure_physical_dirs(self, backend: int, fid: int) -> Generator:
+        """Public alias for migration tooling (repro.core.rebalance)."""
+        yield from self._ensure_physical_dirs(backend, fid)
+
+    # -- elastic back-ends ----------------------------------------------------
+    def attach_backend_mount(self, mount) -> int:
+        """Register a new back-end mount with this client: grows the
+        shared mapping ring and the per-back-end caches. Returns the new
+        mount's index. (The supported way for rebalance tooling to add
+        capacity — callers must not reach into ``mapping``/``backends``
+        directly.)"""
+        idx = self.mapping.add_backend()
+        self.backends.append(mount)
+        self._known_dirs.append(set())
+        return idx
+
     # -- directory operations (ZooKeeper only) ------------------------------
     def mkdir(self, path: str, mode: int = 0o755) -> Generator:
         """Paper Fig. 5."""
@@ -254,7 +273,7 @@ class DUFSClient:
             raise FSError(ENOTDIR, path)
         self.stats["zk_writes"] += 1
         try:
-            yield from self.zk.delete(path)
+            yield from self.zk.delete(path, is_dir=True)
         except NoNodeError as exc:
             if not self.zk.last_retries:  # retried rmdir already landed
                 raise _map_zk_error(exc, path) from None
@@ -395,7 +414,7 @@ class DUFSClient:
             raise FSError(EISDIR, path)
         self.stats["zk_writes"] += 1
         try:
-            yield from self.zk.delete(path)
+            yield from self.zk.delete(path, is_dir=False)
         except NoNodeError as exc:
             # A retried delete whose first attempt landed: the znode is
             # gone, which is the post-condition we wanted. (Without

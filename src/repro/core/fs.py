@@ -14,6 +14,7 @@ from typing import Any, List, Optional, Sequence
 
 from ..fuse.mount import FuseMount
 from ..fuse.ops import OperationTable
+from ..mds import ShardMap, ShardedMDS
 from ..models.params import CacheParams, FaultToleranceParams, SimParams
 from ..pfs.localfs import LocalFS
 from ..pfs.lustre.fs import build_lustre
@@ -44,6 +45,19 @@ class DUFSDeployment:
     mounts: List[FuseMount]             # FUSE wrapper per client node
     zk_clients: List[ZKClient]
     bus: Optional[TraceBus] = None      # unified per-op trace bus
+    # Sharded metadata plane (tentpole): every independent ensemble, in
+    # shard order. ``ensemble`` stays bound to shard 0 for compatibility.
+    ensembles: Optional[List[ZKEnsemble]] = None
+    n_shards: int = 1
+
+    def __post_init__(self):
+        if self.ensembles is None:
+            self.ensembles = [self.ensemble]
+
+    @property
+    def services(self):
+        """The per-client metadata services (``MetadataService``)."""
+        return [c.zk for c in self.clients]
 
     def mount_for(self, process_index: int) -> FuseMount:
         """The FUSE mount a given client process uses (processes are
@@ -100,6 +114,9 @@ def build_dufs_deployment(
     bus: Optional[TraceBus] = None,
     trace: bool = False,
     cache: Optional[CacheParams] = None,
+    n_shards: int = 1,
+    shard_strategy: str = "parent-hash",
+    shard_subtrees: Optional[dict] = None,
 ) -> DUFSDeployment:
     """Wire up a complete DUFS installation on a fresh simulated cluster.
 
@@ -128,10 +145,21 @@ def build_dufs_deployment(
     entries invalidated by ZooKeeper watches, with read coalescing. The
     default policy is off, which keeps the RPC stream byte-identical to a
     deployment without the cache layer.
+
+    Sharding: ``n_shards > 1`` splits the ``n_zk`` server budget into
+    that many *independent* ensembles (``max(1, n_zk // n_shards)``
+    servers each — ``n_zk`` is always the TOTAL, so shard counts compare
+    at equal hardware) and gives every client a
+    :class:`~repro.mds.ShardedMDS` routing the namespace across them via
+    a deterministic :class:`~repro.mds.ShardMap` (``shard_strategy`` /
+    ``shard_subtrees``). The default ``n_shards=1`` builds the exact
+    pre-sharding deployment: same objects, names and event order.
     """
     params = params or SimParams()
     fault = fault or params.fault
     cache = cache or params.cache
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
     if bus is None and trace:
         bus = TraceBus()
     cluster = Cluster(seed=seed if seed else params.seed)
@@ -142,23 +170,70 @@ def build_dufs_deployment(
     else:
         zk_nodes = [cluster.add_node(f"zknode{i}", cores=params.node_cores)
                     for i in range(n_zk)]
-    ensemble = build_ensemble(cluster, zk_nodes, n_zk, params=params.zk,
-                              bus=bus)
+    if n_shards == 1:
+        ensembles = [build_ensemble(cluster, zk_nodes, n_zk,
+                                    params=params.zk, bus=bus)]
+    else:
+        # n_zk is the TOTAL server budget: each shard gets an independent
+        # ensemble of n_zk // n_shards servers, so 1x8 / 2x4 / 4x2 sweeps
+        # compare metadata planes at equal hardware.
+        per_shard = max(1, n_zk // n_shards)
+        ensembles = []
+        for k in range(n_shards):
+            if co_locate_zk:
+                # Rotate so shard quorums land on different client nodes.
+                off = (k * per_shard) % len(zk_nodes)
+                shard_nodes = list(zk_nodes[off:]) + list(zk_nodes[:off])
+            else:
+                shard_nodes = list(zk_nodes[k * per_shard:
+                                            (k + 1) * per_shard]) \
+                    or list(zk_nodes)
+            ensembles.append(build_ensemble(cluster, shard_nodes, per_shard,
+                                            params=params.zk, bus=bus,
+                                            name=f"s{k}zk", shard=k))
+    ensemble = ensembles[0]
     backends = _build_backends(cluster, backend, n_backends, params,
                                n_oss_per_lustre, pvfs_servers_per_instance,
                                bus=bus)
 
+    shard_map = ShardMap(n_shards, strategy=shard_strategy,
+                         subtrees=shard_subtrees) if n_shards > 1 else None
     clients, mounts, zk_clients = [], [], []
     for i, node in enumerate(client_nodes):
-        # Prefer the co-located ZooKeeper server; else round-robin.
-        if co_locate_zk and i < n_zk:
-            prefer = ensemble.endpoints[i]
+        if n_shards == 1:
+            # Prefer the co-located ZooKeeper server; else round-robin.
+            if co_locate_zk and i < n_zk:
+                prefer = ensemble.endpoints[i]
+            else:
+                prefer = ensemble.server_for(i)
+            zkc = ZKClient(node, ensemble.endpoints, prefer=prefer,
+                           request_timeout=zk_request_timeout,
+                           max_retries=zk_max_retries, name=f"dufszk{i}",
+                           fault=fault, bus=bus)
+            service = zkc
+            retries_of = lambda z=zkc: z.last_retries  # noqa: E731
         else:
-            prefer = ensemble.server_for(i)
-        zkc = ZKClient(node, ensemble.endpoints, prefer=prefer,
-                       request_timeout=zk_request_timeout,
-                       max_retries=zk_max_retries, name=f"dufszk{i}",
-                       fault=fault, bus=bus)
+            # One ZK client per shard per node; each prefers a server of
+            # ITS shard's ensemble that is co-located on this node, else
+            # round-robins over that shard's live servers (shard-aware
+            # prefer assignment).
+            shard_clients = []
+            for k, ens in enumerate(ensembles):
+                prefer = next((ep for s, ep in zip(ens.servers,
+                                                   ens.endpoints)
+                               if s.node is node), None) \
+                    if co_locate_zk else None
+                if prefer is None:
+                    prefer = ens.server_for(i)
+                shard_clients.append(
+                    ZKClient(node, ens.endpoints, prefer=prefer,
+                             request_timeout=zk_request_timeout,
+                             max_retries=zk_max_retries,
+                             name=f"dufszk{i}s{k}", fault=fault, bus=bus))
+            zkc = shard_clients[0]
+            service = ShardedMDS(shard_clients, shard_map=shard_map,
+                                 name=f"mds{i}")
+            retries_of = lambda m=service: m.last_retries  # noqa: E731
         backend_clients = [
             be.client(node) if backend != "local" else be.client()
             for be in backends
@@ -167,17 +242,18 @@ def build_dufs_deployment(
         # Deterministic per-deployment client ids (a high offset keeps them
         # disjoint from the global allocator used by ad-hoc clients), so
         # identical seeds produce identical FIDs and placements.
-        dufs = DUFSClient(node, zkc, backend_clients, params=params.dufs,
+        dufs = DUFSClient(node, service, backend_clients, params=params.dufs,
                           mapping=mapping, client_id=0x5EED0000 + i,
                           cache=cache, bus=bus, name=f"dufs{i}")
         if bus is not None:
             instrument_client(dufs, TRACED_CLIENT_OPS, bus,
                               deployment="dufs", endpoint=f"dufs{i}",
-                              retries_of=lambda z=zkc: z.last_retries)
+                              retries_of=retries_of)
         mount = FuseMount(node, OperationTable.from_client(dufs),
                           params=params.fuse, name=f"dufs{i}")
         clients.append(dufs)
         mounts.append(mount)
         zk_clients.append(zkc)
     return DUFSDeployment(cluster, params, client_nodes, ensemble, backends,
-                          clients, mounts, zk_clients, bus=bus)
+                          clients, mounts, zk_clients, bus=bus,
+                          ensembles=ensembles, n_shards=n_shards)

@@ -19,9 +19,12 @@ ZooKeeper watches:
   stat-after-readdir sweep (``ls -l``) is served entirely from cache;
 - **read coalescing** — concurrent same-path lookups on one client share
   a single in-flight ZK RPC via a waiter event keyed by path;
-- **watch-loss flush** — the whole cache is dropped when the ZK client
+- **watch-loss flush** — cached state is dropped when the ZK client
   re-establishes its session or fails over to another server (either way
-  the watch registrations that guarantee coherence may be gone).
+  the watch registrations that guarantee coherence may be gone). Behind a
+  sharded metadata service the flush is *per shard*: only the namespace
+  slice whose watches lived on the affected ensemble is dropped, so one
+  shard's fail-over no longer costs every client its whole cache.
 
 The cache also owns the *virtual-directory dcache* the client always had
 (the ``_vdir_cache`` set emulating kernel-dcache parent-type checks), so
@@ -43,7 +46,6 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 from ..models.params import CacheParams
 from ..sim.core import Event
 from ..svc import NULL_BUS, TraceBus
-from ..zk.client import ZKClient
 from ..zk.errors import NoNodeError
 from ..zk.protocol import WatchEvent
 from .metadata import DirPayload, decode_payload
@@ -74,7 +76,7 @@ class MDCache:
     def __init__(
         self,
         node,
-        zk: ZKClient,
+        zk,
         params: Optional[CacheParams] = None,
         client_stats: Optional[Dict[str, int]] = None,
         bus: Optional[TraceBus] = None,
@@ -326,10 +328,15 @@ class MDCache:
         if dropped:
             self._mark("watch_invalidations")
 
-    def _on_watch_loss(self, reason: str) -> None:
-        """Session re-established or server fail-over: every watch this
-        cache relies on may be gone — flush wholesale."""
-        self.flush()
+    def _on_watch_loss(self, reason: str, shard: Optional[int] = None) -> None:
+        """Session re-established or server fail-over: the watches this
+        cache relies on may be gone. A raw ZKClient notifies ``(reason,)``
+        — flush wholesale; a sharded MetadataService notifies ``(reason,
+        shard)`` — flush only the slice whose watches lived there."""
+        if shard is None or getattr(self.zk, "n_shards", 1) <= 1:
+            self.flush()
+        else:
+            self.flush_shard(shard)
 
     def flush(self) -> None:
         if not (self._entries or self._listings or self._negatives
@@ -341,6 +348,26 @@ class MDCache:
         self._watched.clear()
         self._dirs.clear()
         self._mark("flushes")
+
+    def flush_shard(self, shard: int) -> None:
+        """Drop only the slice whose coherence watches lived on ``shard``:
+        entries/negatives route by the path's home shard, listings by its
+        child-hosting shard (where the child watch was registered)."""
+        home = self.zk.shard_for
+        listing = self.zk.listing_shard_for
+        dropped = False
+        for table, by in ((self._entries, home), (self._negatives, home),
+                          (self._listings, listing)):
+            for path in [p for p in table if by(p) == shard]:
+                del table[path]
+                dropped = True
+        for path in [p for p in self._watched
+                     if home(p) == shard or listing(p) == shard]:
+            self._watched.discard(path)
+        for path in [p for p in self._dirs if home(p) == shard]:
+            self._dirs.discard(path)
+        if dropped:
+            self._mark("flushes")
 
     # -- introspection -------------------------------------------------------
     def __len__(self) -> int:

@@ -64,9 +64,7 @@ def attach_backend(clients: Sequence[DUFSClient], backend_client_for:
     """
     new_index = None
     for client in clients:
-        idx = client.mapping.add_backend()
-        client.backends.append(backend_client_for(client))
-        client._known_dirs.append(set())
+        idx = client.attach_backend_mount(backend_client_for(client))
         if new_index is None:
             new_index = idx
         elif idx != new_index:
@@ -105,7 +103,7 @@ def migrate(client: DUFSClient, relocations: Sequence[Relocation]) -> Generator:
             if exc.err == ENOENT:
                 continue  # already migrated (or never written)
             raise
-        yield from client._ensure_physical_dirs(rel.dst_backend, rel.fid)
+        yield from client.ensure_physical_dirs(rel.dst_backend, rel.fid)
         try:
             yield from dst.create(ppath)
         except FSError as exc:

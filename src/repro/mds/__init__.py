@@ -1,0 +1,35 @@
+"""Metadata service layer: the namespace API behind the DUFS client.
+
+``MetadataService`` abstracts lookup/create/delete/readdir/multi + watch
+registration; ``SingleEnsembleMDS`` is the paper's one-ensemble design
+(byte-identical traces), ``ShardedMDS`` scales writes across N
+independent ensembles with a deterministic ``ShardMap`` and a two-phase
+cross-shard intent protocol.
+"""
+
+from .base import MetadataService, as_metadata_service
+from .shardmap import ShardMap, STRATEGIES, parent_dir
+from .single import SingleEnsembleMDS
+from .sharded import (
+    INTENT_ROOT,
+    ShardedMDS,
+    apply_intent_to_view,
+    decode_intent,
+    default_is_dir,
+    encode_intent,
+)
+
+__all__ = [
+    "MetadataService",
+    "as_metadata_service",
+    "ShardMap",
+    "STRATEGIES",
+    "parent_dir",
+    "SingleEnsembleMDS",
+    "ShardedMDS",
+    "INTENT_ROOT",
+    "apply_intent_to_view",
+    "decode_intent",
+    "encode_intent",
+    "default_is_dir",
+]

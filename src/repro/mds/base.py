@@ -1,0 +1,122 @@
+"""The metadata-service abstraction the DUFS client programs against.
+
+The paper's prototype hard-wires the namespace to ONE ZooKeeper ensemble,
+which is exactly why its metadata *write* throughput stops scaling: every
+mutation pays one quorum round on the same replica group (Fig. 7/8 —
+adding servers widens the read fan-out but deepens the write pipeline).
+:class:`MetadataService` abstracts the namespace API the client actually
+uses — lookup / create / delete / readdir / rename-multi plus watch
+registration — so the service *behind* that API can be swapped:
+
+- :class:`~repro.mds.single.SingleEnsembleMDS` — the paper's design; a
+  pure pass-through to one :class:`~repro.zk.client.ZKClient` that adds
+  no simulator events, so a deployment built through it replays
+  byte-identical traces to the pre-abstraction code.
+- :class:`~repro.mds.sharded.ShardedMDS` — partitions the namespace
+  across N *independent* ensembles via a deterministic
+  :class:`~repro.mds.shardmap.ShardMap` (λFS / IndexFS-style), turning
+  the write ceiling into a scaling axis: shard-local writes touch one
+  small quorum, and only cross-shard operations pay coordination.
+
+The method set deliberately mirrors ``ZKClient`` (``get`` / ``exists`` /
+``get_children`` / ``create`` / ``set_data`` / ``delete`` / ``multi`` /
+``sync`` + the ``op_*`` multi builders + ``last_retries``), so existing
+call sites migrate by construction, not by rewrite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional, Sequence
+
+from ..zk.client import ZKClient
+from ..zk.protocol import WriteRequest
+
+
+class MetadataService:
+    """Abstract namespace service (see module docstring).
+
+    Watch-loss notification is *shard-scoped* here: listeners receive
+    ``(reason, shard)`` so a coherent cache layered on watches can flush
+    only the namespace slice whose watches may be gone, instead of
+    wholesale. (The raw ``ZKClient`` listener signature is ``(reason,)``;
+    implementations adapt.)
+    """
+
+    #: Number of independent ensembles behind this service.
+    n_shards: int = 1
+
+    def __init__(self) -> None:
+        self.watch_loss_listeners: List[Callable[[str, int], None]] = []
+
+    # -- shard topology ----------------------------------------------------
+    def shard_for(self, path: str) -> int:
+        """Shard holding the znode *entry* for ``path``."""
+        return 0
+
+    def listing_shard_for(self, path: str) -> int:
+        """Shard holding the *child list* of ``path`` (equal to
+        :meth:`shard_for` for a single ensemble; the child-hosting shard
+        under hash-of-parent partitioning)."""
+        return 0
+
+    def client_for_shard(self, shard: int) -> ZKClient:
+        raise NotImplementedError
+
+    # -- reads -------------------------------------------------------------
+    def get(self, path: str, watch=None) -> Generator:
+        raise NotImplementedError
+
+    def exists(self, path: str, watch=None) -> Generator:
+        raise NotImplementedError
+
+    def get_children(self, path: str, watch=None) -> Generator:
+        raise NotImplementedError
+
+    # -- writes ------------------------------------------------------------
+    def create(self, path: str, data: bytes = b"", ephemeral: bool = False,
+               sequential: bool = False) -> Generator:
+        raise NotImplementedError
+
+    def set_data(self, path: str, data: bytes, version: int = -1) -> Generator:
+        raise NotImplementedError
+
+    def delete(self, path: str, version: int = -1,
+               is_dir: Optional[bool] = None) -> Generator:
+        """Remove ``path``. ``is_dir`` is a routing hint (the DUFS client
+        always knows the type it is removing); a sharded service without
+        the hint pays one read to classify."""
+        raise NotImplementedError
+
+    def multi(self, ops: Sequence[WriteRequest]) -> Generator:
+        raise NotImplementedError
+
+    def sync(self, path: str = "/") -> Generator:
+        raise NotImplementedError
+
+    # -- multi builders (shared wire format with ZKClient) -------------------
+    op_create = staticmethod(ZKClient.op_create)
+    op_delete = staticmethod(ZKClient.op_delete)
+    op_set = staticmethod(ZKClient.op_set)
+    op_check = staticmethod(ZKClient.op_check)
+
+    # -- retry introspection -------------------------------------------------
+    @property
+    def last_retries(self) -> int:
+        """Retries performed by the preceding operation (callers use it to
+        disambiguate retried non-idempotent writes, as with ZKClient)."""
+        raise NotImplementedError
+
+    # -- watch loss ----------------------------------------------------------
+    def _notify_watch_loss(self, reason: str, shard: int = 0) -> None:
+        for fn in self.watch_loss_listeners:
+            fn(reason, shard)
+
+
+def as_metadata_service(obj) -> "MetadataService":
+    """Adapt ``obj`` to the service interface: a raw :class:`ZKClient` is
+    wrapped in a :class:`~repro.mds.single.SingleEnsembleMDS`; an existing
+    service passes through."""
+    if isinstance(obj, MetadataService):
+        return obj
+    from .single import SingleEnsembleMDS
+    return SingleEnsembleMDS(obj)

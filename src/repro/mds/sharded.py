@@ -1,0 +1,432 @@
+"""Sharded metadata service: the namespace over N independent ensembles.
+
+The paper's own Fig. 7/8 show the limitation this class removes: one
+ZooKeeper ensemble scales *reads* with server count but write throughput
+*degrades*, because every mutation pays one quorum round over the whole
+replica group. ``ShardedMDS`` partitions the namespace across N small,
+independent ensembles with a deterministic
+:class:`~repro.mds.shardmap.ShardMap` (hash-of-parent-directory by
+default), so shard-local writes — the overwhelming majority under
+mdtest-style workloads — each touch one small quorum, and N leaders
+commit in parallel.
+
+Placement (hash-of-parent):
+
+- a **file/symlink** znode lives only on its *home shard*
+  ``hash(parent) mod N``;
+- a **directory** materializes on up to two shards: the authoritative
+  *home copy* on ``hash(parent) mod N`` (what ``stat``/lookup read) and a
+  *child-host copy* on ``hash(path) mod N`` that anchors the parent chain
+  for its entries (ZooKeeper refuses to create a child under a missing
+  parent). ``readdir`` asks the child-host shard, where ALL of a
+  directory's entries live by construction. Deeper anchors are completed
+  with placeholder directory znodes on demand; placeholders are never
+  visible to listings (a shard only serves the listings of directories it
+  child-hosts, and for those the home copy is the anchor).
+
+Cross-shard operations (a rename whose source and destination route to
+different shards, a subtree move spanning shards) run as a **two-phase
+intent protocol**: the operation is normalized to idempotent
+``ensure(path, data)`` / ``absent(path)`` steps, journaled as an *intent
+record* znode in the **source shard** (``/.dufs-intent/…``), then applied
+— all ensures (parents first), then all absents (children first) — and
+finally the intent is retired. A crash mid-operation can leave both names
+alive but never neither, and the surviving intent record lets the
+namespace auditor roll the operation forward offline
+(:func:`apply_intent_to_view`), so a post-chaos audit reconciles to a
+clean namespace.
+
+A dead shard (crashed leader, partitioned ensemble) degrades only its
+namespace slice: operations routing to it exhaust their retry budget and
+fail, while every other shard keeps serving — mirroring the DUFS client's
+dead-back-end semantics (§IV-I) at the metadata layer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+from ..zk.client import ZKClient
+from ..zk.errors import (
+    NodeExistsError,
+    NoNodeError,
+    NotEmptyError,
+    ZKError,
+)
+from ..zk.protocol import WriteRequest
+from .base import MetadataService
+from .shardmap import ShardMap, parent_dir
+
+#: System area holding cross-shard intent records (hidden from readdir).
+INTENT_ROOT = "/.dufs-intent"
+INTENT_NAME = INTENT_ROOT[1:]
+
+#: Placeholder payload for anchor directories (matches
+#: :class:`repro.core.metadata.DirPayload` 0o755 encoding — the mds layer
+#: shares the codec's first byte as its type tag but must not import
+#: repro.core, which imports this package).
+PLACEHOLDER_DIR_DATA = b"D:755:0:0"
+
+_mds_seq = itertools.count()
+
+
+def default_is_dir(data: bytes) -> bool:
+    """Payload classifier: is this znode data a directory record?"""
+    return data.startswith(b"D:")
+
+
+# -- intent records ----------------------------------------------------------
+Step = Tuple  # ("ensure", path, data) | ("absent", path)
+
+
+def encode_intent(steps: Sequence[Step]) -> bytes:
+    out = []
+    for step in steps:
+        if step[0] == "ensure":
+            out.append(["ensure", step[1], step[2].hex()])
+        else:
+            out.append(["absent", step[1]])
+    return json.dumps(out, separators=(",", ":")).encode()
+
+
+def decode_intent(data: bytes) -> List[Step]:
+    steps: List[Step] = []
+    for rec in json.loads(data.decode()):
+        if rec[0] == "ensure":
+            steps.append(("ensure", rec[1], bytes.fromhex(rec[2])))
+        else:
+            steps.append(("absent", rec[1]))
+    return steps
+
+
+def ordered_steps(steps: Sequence[Step]) -> List[Step]:
+    """Apply order: ensures parents-first, then absents children-first."""
+    ensures = sorted((s for s in steps if s[0] == "ensure"),
+                     key=lambda s: s[1].count("/"))
+    absents = sorted((s for s in steps if s[0] == "absent"),
+                     key=lambda s: -s[1].count("/"))
+    return ensures + absents
+
+
+def apply_intent_to_view(view: Dict[str, bytes],
+                         steps: Sequence[Step]) -> int:
+    """Roll an intent forward on an offline namespace view (the auditor's
+    merged ``{path: data}`` dict). Idempotent; returns changes made."""
+    changed = 0
+    for step in ordered_steps(steps):
+        if step[0] == "ensure":
+            if view.get(step[1]) != step[2]:
+                view[step[1]] = step[2]
+                changed += 1
+        else:
+            if view.pop(step[1], None) is not None:
+                changed += 1
+    return changed
+
+
+class ShardedMDS(MetadataService):
+    """Namespace service routed across N independent ensembles."""
+
+    def __init__(
+        self,
+        clients: Sequence[ZKClient],
+        shard_map: Optional[ShardMap] = None,
+        is_dir_payload: Callable[[bytes], bool] = default_is_dir,
+        name: Optional[str] = None,
+    ):
+        super().__init__()
+        if not clients:
+            raise ValueError("need at least one shard client")
+        self.clients = list(clients)
+        self.n_shards = len(self.clients)
+        self.map = shard_map or ShardMap(self.n_shards)
+        if self.map.n_shards != self.n_shards:
+            raise ValueError("shard map size != number of shard clients")
+        self.is_dir_payload = is_dir_payload
+        self.name = name or f"mds{next(_mds_seq)}"
+        self._last_retries = 0
+        self._intent_seq = 0
+        self._intent_root_ready: set = set()
+        self.stats = {"cross_shard_ops": 0, "intents_written": 0,
+                      "intents_retired": 0, "anchors_created": 0}
+        for k, zkc in enumerate(self.clients):
+            zkc.shard = k
+            zkc.watch_loss_listeners.append(
+                lambda reason, k=k: self._notify_watch_loss(reason, k))
+
+    # -- shard topology ----------------------------------------------------
+    def shard_for(self, path: str) -> int:
+        return self.map.home_shard(path)
+
+    def listing_shard_for(self, path: str) -> int:
+        return self.map.child_shard(path)
+
+    def client_for_shard(self, shard: int) -> ZKClient:
+        return self.clients[shard]
+
+    # -- plumbing ----------------------------------------------------------
+    def _call(self, shard: int, method: str, *args, **kwargs) -> Generator:
+        """One sub-operation on a shard client, retries accumulated into
+        this service's ``last_retries`` (callers disambiguate retried
+        non-idempotent writes exactly as with a raw ZKClient)."""
+        zkc = self.clients[shard]
+        try:
+            result = yield from getattr(zkc, method)(*args, **kwargs)
+        finally:
+            self._last_retries += zkc.last_retries
+        return result
+
+    @property
+    def last_retries(self) -> int:
+        return self._last_retries
+
+    # -- reads -------------------------------------------------------------
+    def get(self, path: str, watch=None) -> Generator:
+        self._last_retries = 0
+        result = yield from self._call(self.map.home_shard(path), "get",
+                                       path, watch=watch)
+        return result
+
+    def exists(self, path: str, watch=None) -> Generator:
+        self._last_retries = 0
+        result = yield from self._call(self.map.home_shard(path), "exists",
+                                       path, watch=watch)
+        return result
+
+    def get_children(self, path: str, watch=None) -> Generator:
+        self._last_retries = 0
+        child = self.map.child_shard(path)
+        home = self.map.home_shard(path)
+        try:
+            names = yield from self._call(child, "get_children", path,
+                                          watch=watch)
+        except NoNodeError:
+            if child == home:
+                raise
+            # The child-host copy may be missing (crash residue, or a
+            # directory that never hosted an entry); the home copy is
+            # authoritative for existence.
+            stat = yield from self._call(home, "exists", path)
+            if stat is None:
+                raise
+            return []
+        if path == "/":
+            names = [n for n in names if n != INTENT_NAME]
+        return names
+
+    # -- writes ------------------------------------------------------------
+    def create(self, path: str, data: bytes = b"", ephemeral: bool = False,
+               sequential: bool = False) -> Generator:
+        self._last_retries = 0
+        home = self.map.home_shard(path)
+        if self.is_dir_payload(data):
+            child = self.map.child_shard(path)
+            if child != home:
+                # Child-host copy first: a crash in between leaves an
+                # invisible anchor (retried create tolerates it), never a
+                # stat-able directory whose entries cannot be created.
+                yield from self._ensure_child_anchor(child, path, data)
+        result = yield from self._call(home, "create", path, data,
+                                       ephemeral=ephemeral,
+                                       sequential=sequential)
+        return result
+
+    def set_data(self, path: str, data: bytes, version: int = -1) -> Generator:
+        self._last_retries = 0
+        result = yield from self._call(self.map.home_shard(path), "set_data",
+                                       path, data, version=version)
+        return result
+
+    def delete(self, path: str, version: int = -1,
+               is_dir: Optional[bool] = None) -> Generator:
+        self._last_retries = 0
+        home = self.map.home_shard(path)
+        if is_dir is None and self.n_shards > 1:
+            # No routing hint: one read classifies (only generic callers).
+            try:
+                data, _ = yield from self._call(home, "get", path)
+                is_dir = self.is_dir_payload(data)
+            except NoNodeError:
+                is_dir = False
+        if is_dir:
+            child = self.map.child_shard(path)
+            if child != home:
+                # Child-host copy first: it holds the real entries, so
+                # this is where POSIX emptiness (NotEmpty) is enforced.
+                try:
+                    yield from self._call(child, "delete", path,
+                                          version=-1)
+                except NoNodeError:
+                    pass
+        result = yield from self._call(home, "delete", path, version=version)
+        return result
+
+    def sync(self, path: str = "/") -> Generator:
+        self._last_retries = 0
+        result = yield from self._call(self.map.home_shard(path), "sync",
+                                       path)
+        return result
+
+    # -- directory anchors ---------------------------------------------------
+    def _ensure_child_anchor(self, shard: int, path: str,
+                             data: bytes) -> Generator:
+        """Create the child-host copy of directory ``path`` on ``shard``,
+        building placeholder ancestors on demand."""
+        try:
+            yield from self._call(shard, "create", path, data)
+            return
+        except NodeExistsError:
+            return
+        except NoNodeError:
+            pass
+        # Cold path: the parent chain is absent on this shard. Verify the
+        # parent genuinely exists (its home shard is authoritative) so a
+        # racing rmdir still surfaces as ENOENT, then build placeholders.
+        parent = parent_dir(path)
+        stat = yield from self._call(self.map.home_shard(parent), "exists",
+                                     parent)
+        if stat is None:
+            raise NoNodeError(path)
+        yield from self._ensure_dir_chain(shard, parent)
+        try:
+            yield from self._call(shard, "create", path, data)
+        except NodeExistsError:
+            pass
+
+    def _ensure_dir_chain(self, shard: int, dirpath: str) -> Generator:
+        """mkdir -p of placeholder anchors for ``dirpath`` on ``shard``."""
+        if dirpath == "/":
+            return
+        prefix = ""
+        for comp in dirpath.split("/")[1:]:
+            prefix = f"{prefix}/{comp}"
+            try:
+                yield from self._call(shard, "create", prefix,
+                                      PLACEHOLDER_DIR_DATA)
+                self.stats["anchors_created"] += 1
+            except NodeExistsError:
+                pass
+
+    # -- multi: atomic when shard-local, intent-journaled across shards ------
+    def multi(self, ops: Sequence[WriteRequest]) -> Generator:
+        self._last_retries = 0
+        ops = list(ops)
+        shards = {self.map.home_shard(op.path) for op in ops}
+        needs_anchor = any(
+            op.op == "create" and self.is_dir_payload(op.data)
+            and self.map.child_shard(op.path) != self.map.home_shard(op.path)
+            for op in ops)
+        if len(shards) == 1 and not needs_anchor:
+            # Shard-local: one atomic ZooKeeper multi, exactly as today.
+            result = yield from self._call(shards.pop(), "multi", ops)
+            return result
+        result = yield from self._cross_shard_multi(ops)
+        return result
+
+    def _cross_shard_multi(self, ops: List[WriteRequest]) -> Generator:
+        self.stats["cross_shard_ops"] += 1
+        steps = self._normalize(ops)
+        yield from self._precheck(ops)
+        source = self._source_shard(ops)
+        intent_path = yield from self._write_intent(source, steps)
+        try:
+            yield from self._apply_steps(steps)
+        except ZKError:
+            # Leave the intent record: the namespace auditor rolls the
+            # operation forward offline (apply_intent_to_view) — a crash
+            # mid-operation can strand both names, never neither.
+            raise
+        try:
+            yield from self._call(source, "delete", intent_path)
+            self.stats["intents_retired"] += 1
+        except ZKError:
+            pass  # benign: steps are idempotent under reconciliation
+        return [None] * len(ops)
+
+    def _normalize(self, ops: Sequence[WriteRequest]) -> List[Step]:
+        """Collapse an op list into idempotent final-state steps (a
+        delete-then-create of one path becomes a single ensure, so a
+        reconciler replaying the record at any point converges)."""
+        final: Dict[str, Step] = {}
+        for op in ops:
+            if op.op in ("create", "set"):
+                final[op.path] = ("ensure", op.path, op.data)
+            elif op.op == "delete":
+                final[op.path] = ("absent", op.path)
+            # "check" ops carry no state change.
+        return list(final.values())
+
+    def _precheck(self, ops: Sequence[WriteRequest]) -> Generator:
+        """Preserve the atomic multi's NotEmpty guard: a delete that a
+        later create overwrites (rename onto an existing target) must
+        fail if the target directory currently has entries."""
+        deleted = set()
+        for op in ops:
+            if op.op == "delete":
+                deleted.add(op.path)
+            elif op.op == "create" and op.path in deleted:
+                try:
+                    names = yield from self._call(
+                        self.map.child_shard(op.path), "get_children",
+                        op.path)
+                except NoNodeError:
+                    continue  # no child-host copy: nothing underneath
+                if names:
+                    raise NotEmptyError(op.path)
+
+    def _source_shard(self, ops: Sequence[WriteRequest]) -> int:
+        """The shard journaling the intent: where the operation's source
+        entry lives (the first deleted path), per the protocol."""
+        for op in ops:
+            if op.op == "delete":
+                return self.map.home_shard(op.path)
+        return self.map.home_shard(ops[0].path)
+
+    def _write_intent(self, source: int, steps: Sequence[Step]) -> Generator:
+        if source not in self._intent_root_ready:
+            try:
+                yield from self._call(source, "create", INTENT_ROOT,
+                                      PLACEHOLDER_DIR_DATA)
+            except NodeExistsError:
+                pass
+            self._intent_root_ready.add(source)
+        self._intent_seq += 1
+        path = f"{INTENT_ROOT}/{self.name}-{self._intent_seq}"
+        yield from self._call(source, "create", path, encode_intent(steps))
+        self.stats["intents_written"] += 1
+        return path
+
+    def _apply_steps(self, steps: Sequence[Step]) -> Generator:
+        for step in ordered_steps(steps):
+            if step[0] == "ensure":
+                yield from self._apply_ensure(step[1], step[2])
+            else:
+                yield from self._apply_absent(step[1])
+
+    def _apply_ensure(self, path: str, data: bytes) -> Generator:
+        home = self.map.home_shard(path)
+        if self.is_dir_payload(data):
+            child = self.map.child_shard(path)
+            if child != home:
+                yield from self._ensure_child_anchor(child, path, data)
+        try:
+            yield from self._call(home, "create", path, data)
+        except NodeExistsError:
+            yield from self._call(home, "set_data", path, data)
+
+    def _apply_absent(self, path: str) -> Generator:
+        home = self.map.home_shard(path)
+        child = self.map.child_shard(path)
+        if child != home:
+            # Covers the directory child-host copy; for files the child
+            # shard simply holds nothing (tolerated).
+            try:
+                yield from self._call(child, "delete", path)
+            except NoNodeError:
+                pass
+        try:
+            yield from self._call(home, "delete", path)
+        except NoNodeError:
+            pass

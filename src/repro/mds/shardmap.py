@@ -1,0 +1,90 @@
+"""Deterministic namespace → shard routing.
+
+The default strategy is **hash-of-parent-directory**: every entry of one
+directory lands on the same shard (``MD5(parent) mod N``), so the common
+metadata operations — create/lookup/unlink of a name, readdir of a
+directory — are shard-local, while unrelated directories spread across
+shards. This is the placement λFS and IndexFS converge on: it keeps the
+namespace's hot mutation unit (a directory's entry set) on one quorum.
+
+Placement invariants under hash-of-parent:
+
+- the znode *entry* for ``path`` lives on its **home shard**
+  ``hash(parent(path)) mod N``;
+- the *children* of ``path`` all live on its **child shard**
+  ``hash(path) mod N``. A directory therefore materializes on up to two
+  shards: the authoritative home copy, plus a child-host copy that
+  anchors its entries' parent chain (see ``ShardedMDS``).
+
+``strategy="subtree"`` adds explicit longest-prefix pinning on top
+(``subtrees={"/scratch": 1, "/home": 0}``): whole subtrees are routed to
+a fixed shard, with the hash as fallback — the pluggable partitioning the
+operator uses to keep a workload's tree quorum-local.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..hashing.md5 import md5_int
+
+STRATEGIES = ("parent-hash", "subtree")
+
+
+def parent_dir(path: str) -> str:
+    return path.rsplit("/", 1)[0] or "/"
+
+
+class ShardMap:
+    """Pure, deterministic path → shard function (no I/O, no state)."""
+
+    def __init__(self, n_shards: int, strategy: str = "parent-hash",
+                 subtrees: Optional[Dict[str, int]] = None):
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown shard strategy {strategy!r}")
+        if strategy == "subtree" and not subtrees:
+            raise ValueError("subtree strategy needs a subtrees mapping")
+        self.n_shards = n_shards
+        self.strategy = strategy
+        self.subtrees = dict(subtrees or {})
+        for prefix, shard in self.subtrees.items():
+            if not prefix.startswith("/"):
+                raise ValueError(f"subtree prefix {prefix!r} not absolute")
+            if not 0 <= shard < n_shards:
+                raise ValueError(f"subtree shard {shard} out of range")
+
+    # -- the two placement questions ----------------------------------------
+    def home_shard(self, path: str) -> int:
+        """Shard holding the znode entry for ``path``."""
+        if path == "/":
+            return self.dir_shard("/")
+        return self.dir_shard(parent_dir(path))
+
+    def child_shard(self, path: str) -> int:
+        """Shard holding the child entries of directory ``path``."""
+        return self.dir_shard(path)
+
+    def dir_shard(self, dirpath: str) -> int:
+        """The shard that owns ``dirpath``'s entry set."""
+        if self.n_shards == 1:
+            return 0
+        pinned = self._pinned(dirpath)
+        if pinned is not None:
+            return pinned
+        return md5_int(dirpath.encode()) % self.n_shards
+
+    def _pinned(self, dirpath: str) -> Optional[int]:
+        """Longest-prefix subtree pin covering ``dirpath`` (or None)."""
+        best_len, best = -1, None
+        for prefix, shard in self.subtrees.items():
+            if dirpath == prefix or dirpath.startswith(prefix + "/"):
+                if len(prefix) > best_len:
+                    best_len, best = len(prefix), shard
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics
+        extra = f", subtrees={self.subtrees}" if self.subtrees else ""
+        return (f"ShardMap(n_shards={self.n_shards}, "
+                f"strategy={self.strategy!r}{extra})")

@@ -53,11 +53,13 @@ class Service:
         bus: Optional[TraceBus] = None,
         policy: Optional[AdmissionPolicy] = None,
         op_stats: Optional[dict] = None,
+        shard: int = 0,
     ):
         self.node = node
         self.sim = node.sim
         self.endpoint = endpoint
         self.deployment = deployment
+        self.shard = shard             # metadata shard this endpoint serves
         self.bus = bus if bus is not None else NULL_BUS
         self.policy = policy or DirectAdmission()
         self.specs: Dict[str, OpSpec] = {}
@@ -125,7 +127,7 @@ class Service:
                     self._op_stats["ops"] = self._op_stats.get("ops", 0) + 1
                 self.bus.record(OpTrace(self.deployment, self.endpoint,
                                         method, arrive, start, self.sim.now,
-                                        ok, src))
+                                        ok, src, shard=self.shard))
 
         return wrapper
 

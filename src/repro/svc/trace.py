@@ -35,6 +35,7 @@ class OpTrace:
     ok: bool
     src: str = ""              # caller endpoint
     retries: int = 0           # client-side: attempts beyond the first
+    shard: int = 0             # metadata shard serving/issuing the op
 
     @property
     def queue_wait(self) -> float:
@@ -68,6 +69,7 @@ class TraceBus:
         self.queue_wait = LatencyRecorder()
         self.service = LatencyRecorder()
         self.events: Optional[List[OpTrace]] = [] if keep_events else None
+        self.shard_of: Dict[str, int] = {}  # key -> shard (constant per endpoint)
         self._subscribers: List[Callable[[OpTrace], None]] = []
 
     # -- recording ---------------------------------------------------------
@@ -80,6 +82,8 @@ class TraceBus:
             self.retries.inc(key, ev.retries)
         self.queue_wait.record(key, ev.queue_wait)
         self.service.record(key, ev.service)
+        if ev.shard:
+            self.shard_of[key] = ev.shard
         if self.events is not None:
             self.events.append(ev)
         for fn in self._subscribers:
@@ -112,6 +116,7 @@ class TraceBus:
                 "ops": self.ops.get(key),
                 "errors": self.errors.get(key),
                 "retries": self.retries.get(key),
+                "shard": self.shard_of.get(key, 0),
                 "queue_wait_mean": qw.mean if qw else 0.0,
                 "queue_wait_p95": qw.p95 if qw else 0.0,
                 "service_mean": svc.mean if svc else 0.0,

@@ -68,6 +68,7 @@ class ZKClient:
                             else max_retries)
         self.session: Optional[int] = None
         self.last_retries = 0       # retries performed by the last request
+        self.shard = 0              # metadata shard this client talks to
         self.bus = bus if bus is not None else NULL_BUS
         ident = name or f"zkcli{next(_client_seq)}"
         self._backoff_stream = f"zk.client.{ident}"
@@ -166,7 +167,8 @@ class ZKClient:
             self.last_retries = attempt + reconnects
             self.bus.record(OpTrace("zk", self.agent.endpoint, method, t0, t0,
                                     self.sim.now, ok,
-                                    retries=self.last_retries))
+                                    retries=self.last_retries,
+                                    shard=self.shard))
 
     def _rebind_session(self, req: WriteRequest) -> WriteRequest:
         session = self.session or 0

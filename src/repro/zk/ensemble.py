@@ -32,8 +32,17 @@ class ZKEnsemble:
         return None
 
     def server_for(self, index: int) -> str:
-        """Endpoint assignment for the ``index``-th client (round-robin)."""
-        return self.endpoints[index % len(self.endpoints)]
+        """Endpoint assignment for the ``index``-th client (round-robin).
+
+        Round-robins over *live* endpoints only: after a permanent crash
+        removes a server, indexing the full endpoint list would hand out
+        dead addresses forever. Falls back to the full list when nothing
+        is live (the client's own fail-over loop then takes over).
+        """
+        live = [ep for s, ep in zip(self.servers, self.endpoints)
+                if not s.node.down]
+        pool = live or self.endpoints
+        return pool[index % len(pool)]
 
     def fingerprints(self) -> List[int]:
         return [s.store.fingerprint() for s in self.servers]
@@ -53,6 +62,8 @@ def build_ensemble(
     boot: bool = True,
     n_observers: int = 0,
     bus: Optional[TraceBus] = None,
+    name: str = "zk",
+    shard: int = 0,
 ) -> ZKEnsemble:
     """Create ``n_servers`` voting ZK servers (plus ``n_observers``
     non-voting observers) spread round-robin over ``nodes``.
@@ -62,10 +73,14 @@ def build_ensemble(
     (and params with ``failure_detection=True``) to start all servers
     LOOKING and let the election run. Observers replicate committed state
     and serve reads but never vote or ack — read fan-out at no write cost.
+
+    ``name`` prefixes server endpoints (default ``"zk"`` keeps them
+    identical to before); distinct names let several independent
+    ensembles — the sharded metadata plane — share one cluster.
     """
     params = params or ZKParams()
     total = n_servers + n_observers
-    peers = {sid: f"zk{sid}" for sid in range(total)}
+    peers = {sid: f"{name}{sid}" for sid in range(total)}
     servers = []
     for sid in range(total):
         node = nodes[sid % len(nodes)]
@@ -73,6 +88,7 @@ def build_ensemble(
                           static_leader=static_leader,
                           observer=sid >= n_servers,
                           voter_count=n_servers, bus=bus)
+        server.svc.shard = shard      # tag this ensemble's traces
         servers.append(server)
     if boot and static_leader is not None:
         for server in servers:

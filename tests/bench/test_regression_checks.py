@@ -1,0 +1,75 @@
+"""The CI regression gates: graceful on malformed/stale baselines."""
+
+from repro.bench import check_regression, check_shard_regression
+from repro.bench.cache_bench import PHASES as CACHE_PHASES
+from repro.bench.shard_bench import CREATE_PHASE, PHASES as SHARD_PHASES
+
+
+def cache_doc(ops=1000.0):
+    phases = {n: {"ops_per_s": ops} for n in CACHE_PHASES}
+    return {"on": {"phases": phases},
+            "speedup": {n: 3.0 for n in CACHE_PHASES}}
+
+
+def test_cache_gate_passes_against_identical_baseline():
+    assert check_regression(cache_doc(), cache_doc()) == []
+
+
+def test_cache_gate_flags_throughput_drop():
+    failures = check_regression(cache_doc(ops=500.0), cache_doc(ops=1000.0))
+    assert len(failures) == len(CACHE_PHASES)
+    assert "below baseline" in failures[0]
+
+
+def test_cache_gate_reports_missing_baseline_phase_not_keyerror():
+    baseline = cache_doc()
+    del baseline["on"]["phases"]["ls_l"]          # stale pre-ls_l file
+    failures = check_regression(cache_doc(), baseline)
+    assert len(failures) == 1
+    assert "ls_l" in failures[0]
+    assert "missing from baseline" in failures[0]
+    assert "regenerate" in failures[0]
+
+
+def test_cache_gate_tolerates_empty_baseline_document():
+    failures = check_regression(cache_doc(), {})
+    assert len(failures) == len(CACHE_PHASES)
+    assert all("missing from baseline" in f for f in failures)
+
+
+def shard_doc(create_4=4000.0):
+    def run(n, ops):
+        return {"n_shards": n,
+                "phases": {p: {"ops_per_s": ops} for p in SHARD_PHASES}}
+    doc = {"shards": {"1": run(1, 2000.0), "4": run(4, create_4)},
+           "speedup_vs_1": {
+               "1": {p: 1.0 for p in SHARD_PHASES},
+               "4": {p: create_4 / 2000.0 for p in SHARD_PHASES}}}
+    return doc
+
+
+def test_shard_gate_enforces_the_scaling_floor():
+    assert check_shard_regression(shard_doc()) == []      # 2.0x >= 1.5x
+    failures = check_shard_regression(shard_doc(create_4=2400.0))
+    assert len(failures) == 1
+    assert CREATE_PHASE in failures[0]
+    assert "floor" in failures[0]
+
+
+def test_shard_gate_reports_missing_baseline_entries():
+    baseline = shard_doc()
+    del baseline["shards"]["4"]
+    failures = check_shard_regression(shard_doc(), baseline)
+    assert any("no entry for 4 shard(s)" in f for f in failures)
+    assert all("regenerate" in f for f in failures)
+
+    baseline = shard_doc()
+    del baseline["shards"]["4"]["phases"][CREATE_PHASE]
+    failures = check_shard_regression(shard_doc(), baseline)
+    assert any(CREATE_PHASE in f and "regenerate" in f for f in failures)
+
+
+def test_shard_gate_flags_per_configuration_drop():
+    failures = check_shard_regression(shard_doc(create_4=3000.0),
+                                      shard_doc(create_4=4100.0))
+    assert any("below baseline" in f for f in failures)

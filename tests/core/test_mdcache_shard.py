@@ -1,0 +1,68 @@
+"""Per-shard watch-loss flush: losing one shard's session must not cost
+the client its whole cache, only the entries that shard served."""
+
+from repro.core import build_dufs_deployment
+from repro.models.params import CacheParams
+
+
+def make_dep(n_shards=4):
+    return build_dufs_deployment(n_zk=4, n_backends=2, n_client_nodes=1,
+                                 backend="local", n_shards=n_shards,
+                                 cache=CacheParams.caching_on())
+
+
+def populate(dep, n_dirs=8):
+    m = dep.mounts[0]
+    for i in range(n_dirs):
+        dep.call(m.mkdir, f"/d{i}")
+        dep.call(m.create, f"/d{i}/f")
+    for i in range(n_dirs):               # warm the cache
+        dep.call(m.stat, f"/d{i}/f")
+        dep.call(m.readdir, f"/d{i}")
+
+
+def test_shard_watch_loss_flushes_only_that_slice():
+    dep = make_dep()
+    client = dep.clients[0]
+    cache, svc = client.mdcache, client.zk
+    populate(dep)
+    assert cache._entries and cache._listings
+
+    victim = svc.shard_for("/d0/f")
+    kept_entries = [p for p in cache._entries
+                    if svc.shard_for(p) != victim]
+    kept_listings = [p for p in cache._listings
+                     if svc.listing_shard_for(p) != victim]
+    assert kept_entries, "test needs entries on surviving shards"
+
+    flushes = cache.counters["flushes"]
+    cache._on_watch_loss("session", shard=victim)
+
+    assert all(svc.shard_for(p) != victim for p in cache._entries)
+    assert all(svc.listing_shard_for(p) != victim
+               for p in cache._listings)
+    for p in kept_entries:
+        assert p in cache._entries        # survivors untouched
+    for p in kept_listings:
+        assert p in cache._listings
+    assert cache.counters["flushes"] == flushes + 1
+
+
+def test_watch_loss_without_shard_still_flushes_wholesale():
+    dep = make_dep()
+    cache = dep.clients[0].mdcache
+    populate(dep, n_dirs=4)
+    assert cache._entries
+    cache._on_watch_loss("failover")      # raw two-arg listener form
+    assert not cache._entries and not cache._listings
+
+
+def test_single_shard_deployment_flushes_wholesale():
+    dep = build_dufs_deployment(n_zk=3, n_backends=2, n_client_nodes=1,
+                                backend="local",
+                                cache=CacheParams.caching_on())
+    cache = dep.clients[0].mdcache
+    populate(dep, n_dirs=4)
+    assert cache._entries
+    cache._on_watch_loss("session", shard=0)
+    assert not cache._entries

@@ -1,0 +1,151 @@
+"""ShardedMDS: placement, readdir semantics, and the cross-shard
+two-phase intent protocol, exercised through a real DUFS deployment."""
+
+import pytest
+
+from repro.chaos import audit_dufs
+from repro.mds import INTENT_ROOT, ShardedMDS, SingleEnsembleMDS
+from repro.mds.sharded import PLACEHOLDER_DIR_DATA
+from repro.core import build_dufs_deployment
+from repro.zk.errors import NoNodeError, NotEmptyError
+
+
+def make_dep(n_shards=4, **kwargs):
+    kwargs.setdefault("n_zk", max(4, n_shards))
+    kwargs.setdefault("n_backends", 2)
+    kwargs.setdefault("n_client_nodes", 1)
+    kwargs.setdefault("backend", "local")
+    return build_dufs_deployment(n_shards=n_shards, **kwargs)
+
+
+def find_dir(svc, pred, prefix="/t"):
+    """A directory name satisfying a shard-placement predicate."""
+    for i in range(256):
+        name = f"{prefix}{i}"
+        if pred(name):
+            return name
+    raise AssertionError("no dir name matched the placement predicate")
+
+
+def test_deployment_picks_the_right_service():
+    assert isinstance(make_dep(n_shards=4).clients[0].zk, ShardedMDS)
+    assert isinstance(make_dep(n_shards=1).clients[0].zk, SingleEnsembleMDS)
+
+
+def test_directory_materializes_on_home_and_child_shards():
+    dep = make_dep()
+    svc = dep.clients[0].zk
+    d = find_dir(svc, lambda p: svc.map.home_shard(p)
+                 != svc.map.child_shard(p))
+    dep.call(dep.mounts[0].mkdir, d)
+    dep.call(dep.mounts[0].create, f"{d}/f")
+    home, child = svc.map.home_shard(d), svc.map.child_shard(d)
+
+    def probe(shard, path):
+        return dep.call(svc.client_for_shard(shard).exists, path)
+
+    assert probe(home, d) is not None          # authoritative home copy
+    assert probe(child, d) is not None         # child-host anchor copy
+    # The file entry lives ONLY on its home shard (= the dir's child
+    # shard); the dir's home shard holds no entry for it.
+    assert probe(child, f"{d}/f") is not None
+    assert probe(home, f"{d}/f") is None or home == child
+    # readdir is served by the child shard and sees the entry.
+    assert dep.call(svc.get_children, d) == ["f"]
+
+
+def test_readdir_falls_back_to_home_copy_for_missing_anchor():
+    dep = make_dep()
+    svc = dep.clients[0].zk
+    d = find_dir(svc, lambda p: svc.map.home_shard(p)
+                 != svc.map.child_shard(p))
+    dep.call(dep.mounts[0].mkdir, d)
+    # Simulate crash residue: the child-host copy vanished.
+    dep.call(svc.client_for_shard(svc.map.child_shard(d)).delete, d)
+    assert dep.call(svc.get_children, d) == []   # home copy: dir exists
+    with pytest.raises(NoNodeError):
+        dep.call(svc.get_children, "/never-created")
+
+
+def test_placeholder_anchors_stay_invisible_to_listings():
+    dep = make_dep()
+    svc = dep.clients[0].zk
+    m = dep.mounts[0]
+    dep.call(m.mkdir, "/deep")
+    dep.call(m.mkdir, "/deep/a")
+    dep.call(m.mkdir, "/deep/a/b")
+    dep.call(m.create, "/deep/a/b/f")
+    # Whatever placeholder chains were built, every listing shows exactly
+    # the real entries.
+    assert dep.call(svc.get_children, "/deep") == ["a"]
+    assert dep.call(svc.get_children, "/deep/a") == ["b"]
+    assert dep.call(svc.get_children, "/deep/a/b") == ["f"]
+
+
+def cross_shard_pair(svc):
+    """Two dirs whose entry sets live on different shards."""
+    a = find_dir(svc, lambda p: True)
+    b = find_dir(svc, lambda p: svc.map.child_shard(p)
+                 != svc.map.child_shard(a), prefix="/u")
+    return a, b
+
+
+def test_cross_shard_rename_runs_the_intent_protocol():
+    dep = make_dep()
+    svc = dep.clients[0].zk
+    a, b = cross_shard_pair(svc)
+    m = dep.mounts[0]
+    dep.call(m.mkdir, a)
+    dep.call(m.mkdir, b)
+    dep.call(m.create, f"{a}/f")
+    assert dep.call(dep.clients[0].rename, f"{a}/f", f"{b}/f")
+    assert dep.call(svc.get_children, a) == []
+    assert dep.call(svc.get_children, b) == ["f"]
+    assert svc.stats["cross_shard_ops"] >= 1
+    assert svc.stats["intents_written"] == svc.stats["intents_retired"]
+    report = audit_dufs(dep)
+    assert report.ok, report.to_text()
+
+
+def test_root_listing_hides_the_intent_area():
+    dep = make_dep()
+    svc = dep.clients[0].zk
+    a, b = cross_shard_pair(svc)
+    m = dep.mounts[0]
+    dep.call(m.mkdir, a)
+    dep.call(m.mkdir, b)
+    dep.call(m.create, f"{a}/f")
+    dep.call(dep.clients[0].rename, f"{a}/f", f"{b}/f")
+    names = set(dep.call(svc.get_children, "/"))
+    assert names == {a[1:], b[1:]}
+    # ... even though the intent root genuinely exists on some shard.
+    raw = [k for k in range(svc.n_shards)
+           if dep.call(svc.client_for_shard(k).exists, INTENT_ROOT)]
+    assert raw, "cross-shard rename should have created the intent root"
+
+
+def test_cross_shard_multi_keeps_the_notempty_guard():
+    dep = make_dep()
+    svc = dep.clients[0].zk
+    d = find_dir(svc, lambda p: svc.map.home_shard(p)
+                 != svc.map.child_shard(p))
+    m = dep.mounts[0]
+    dep.call(m.mkdir, d)
+    dep.call(m.create, f"{d}/f")
+    before = svc.stats["intents_written"]
+    with pytest.raises(NotEmptyError):
+        dep.call(svc.multi, [svc.op_delete(d),
+                             svc.op_create(d, PLACEHOLDER_DIR_DATA)])
+    # Rejected before any journaling or mutation.
+    assert svc.stats["intents_written"] == before
+    assert dep.call(svc.exists, d) is not None
+    assert dep.call(svc.get_children, d) == ["f"]
+
+
+def test_last_retries_resets_per_operation():
+    dep = make_dep()
+    svc = dep.clients[0].zk
+    dep.call(dep.mounts[0].mkdir, "/r")
+    assert svc.last_retries == 0     # healthy cluster: no retries anywhere
+    dep.call(svc.get, "/r")
+    assert svc.last_retries == 0

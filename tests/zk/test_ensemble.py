@@ -64,3 +64,38 @@ def test_quorum_sizes(n, quorum):
     nodes = [cluster.add_node(f"n{i}") for i in range(n)]
     ens = build_ensemble(cluster, nodes, n)
     assert all(s.quorum == quorum for s in ens.servers)
+
+
+def test_server_for_skips_dead_endpoints():
+    cluster = Cluster(seed=0)
+    nodes = [cluster.add_node(f"n{i}") for i in range(3)]
+    ens = build_ensemble(cluster, nodes, 3)
+    nodes[1].crash()
+    # The dead endpoint is never assigned; the live ones round-robin.
+    picks = {ens.server_for(i) for i in range(6)}
+    assert picks == {"zk0", "zk2"}
+    assert ens.server_for(0) == "zk0" and ens.server_for(1) == "zk2"
+    nodes[1].recover()
+    assert {ens.server_for(i) for i in range(6)} == {"zk0", "zk1", "zk2"}
+
+
+def test_server_for_falls_back_when_nothing_is_live():
+    cluster = Cluster(seed=0)
+    nodes = [cluster.add_node(f"n{i}") for i in range(2)]
+    ens = build_ensemble(cluster, nodes, 2)
+    for n in nodes:
+        n.crash()
+    # Degenerate case: hand out the full list and let the client's own
+    # fail-over loop discover liveness.
+    assert ens.server_for(0) == "zk0"
+    assert ens.server_for(1) == "zk1"
+
+
+def test_named_ensembles_share_a_cluster():
+    cluster = Cluster(seed=0)
+    nodes = [cluster.add_node(f"n{i}") for i in range(2)]
+    a = build_ensemble(cluster, nodes, 2, name="s0zk", shard=0)
+    b = build_ensemble(cluster, nodes, 2, name="s1zk", shard=1)
+    assert a.endpoints == ["s0zk0", "s0zk1"]
+    assert b.endpoints == ["s1zk0", "s1zk1"]
+    assert all(s.svc.shard == 1 for s in b.servers)
