@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""CI gate: rerun the resilience overload campaign and compare against
+the committed baseline (``benchmarks/BENCH_resilience.json``).
+
+Fails (exit 1) when resilience-on goodput at 2x the saturation load
+falls under the 1.5x acceptance floor over resilience-off, or when any
+(load, arm) cell's goodput drops more than the tolerance (default 25%)
+below the baseline. Simulated goodput is deterministic for a given seed,
+so any drift is a real behavioural change in the model, not runner
+noise.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_resilience_regression.py \
+        [--baseline benchmarks/BENCH_resilience.json] [--tolerance 0.25]
+
+Refresh the baseline after an intentional perf change with::
+
+    PYTHONPATH=src python -m repro bench --resilience \
+        --json benchmarks/BENCH_resilience.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.bench import (check_resilience_regression,
+                         render_resilience_overload,
+                         run_resilience_overload)
+
+DEFAULT_BASELINE = (pathlib.Path(__file__).resolve().parent.parent
+                    / "benchmarks" / "BENCH_resilience.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    args = parser.parse_args(argv)
+
+    baseline_path = pathlib.Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"error: baseline {baseline_path} not found", file=sys.stderr)
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+
+    doc = run_resilience_overload(scale=baseline.get("scale", "quick"),
+                                  seed=baseline.get("seed", 0))
+    print(render_resilience_overload(doc))
+
+    failures = check_resilience_regression(doc, baseline,
+                                           tolerance=args.tolerance)
+    if failures:
+        print()
+        for f in failures:
+            print(f"REGRESSION: {f}", file=sys.stderr)
+        return 1
+    print(f"\nok: goodput floor met, within {args.tolerance:.0%} of "
+          f"baseline ({baseline_path.name})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

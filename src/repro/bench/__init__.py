@@ -20,6 +20,12 @@ from .figures import (
     run_single_dir,
 )
 from .report import render_figure, render_headline
+from .resilience_bench import (
+    check_resilience_regression,
+    render_resilience_overload,
+    run_resilience_overload,
+    write_resilience_bench_json,
+)
 from .shard_bench import (
     check_shard_regression,
     render_shard_scaling,
@@ -39,4 +45,6 @@ __all__ = [
     "write_cache_bench_json", "check_regression",
     "run_shard_scaling", "render_shard_scaling",
     "write_shard_bench_json", "check_shard_regression",
+    "run_resilience_overload", "render_resilience_overload",
+    "write_resilience_bench_json", "check_resilience_regression",
 ]

@@ -30,7 +30,7 @@ from typing import Callable, List, Optional
 
 from ..errors import FSError
 from ..models.params import (CacheParams, LustreParams, PVFSParams,
-                             SimParams, ZKParams)
+                             ResilienceParams, SimParams, ZKParams)
 from ..sim.node import Cluster
 from .audit import AuditReport, audit_dufs
 from .engine import ChaosEngine
@@ -96,7 +96,8 @@ def default_schedule(deployment: str, duration: float,
 
 # -- deployment adapters ----------------------------------------------------
 def _build_dufs(seed: int, cache: Optional[CacheParams] = None,
-                shards: int = 1):
+                shards: int = 1,
+                resilience: Optional[ResilienceParams] = None):
     from ..core import build_dufs_deployment
 
     params = SimParams()
@@ -110,7 +111,8 @@ def _build_dufs(seed: int, cache: Optional[CacheParams] = None,
                                 backend="local", params=params,
                                 co_locate_zk=False, seed=seed,
                                 zk_request_timeout=0.4, zk_max_retries=10,
-                                cache=cache, n_shards=shards)
+                                cache=cache, n_shards=shards,
+                                resilience=resilience)
     flat_servers = [s for ens in dep.ensembles for s in ens.servers]
 
     def resolve(symbol: str):
@@ -201,6 +203,7 @@ def run_chaos(
     on_event: Optional[Callable[[FaultSpec, tuple], None]] = None,
     cache: Optional[CacheParams] = None,
     shards: int = 1,
+    resilience: Optional[ResilienceParams] = None,
 ) -> ChaosRunResult:
     """One chaos experiment: op stream + schedule replay + (DUFS) audit.
 
@@ -212,7 +215,10 @@ def run_chaos(
     metadata cache enabled, so the audit doubles as a coherence check
     under faults. ``shards`` (DUFS only) runs the sharded metadata plane
     (3 ZK servers per shard) and unlocks ``shard:<k>`` targets; the audit
-    then exercises the merged-view intent reconciliation.
+    then exercises the merged-view intent reconciliation. ``resilience``
+    (DUFS only) runs the clients under the given request-lifecycle policy
+    (deadlines / retry budget / breakers / hedged reads), so a chaos
+    campaign can prove hedging and fast-fails never corrupt the namespace.
     """
     if deployment not in DEPLOYMENTS:
         raise ValueError(f"unknown deployment {deployment!r}")
@@ -220,8 +226,11 @@ def run_chaos(
         raise ValueError("cache is a DUFS-only option")
     if shards != 1 and deployment != "dufs":
         raise ValueError("shards is a DUFS-only option")
+    if resilience is not None and deployment != "dufs":
+        raise ValueError("resilience is a DUFS-only option")
     builder = _BUILDERS[deployment]
-    built = builder(seed, cache=cache, shards=shards) \
+    built = builder(seed, cache=cache, shards=shards,
+                    resilience=resilience) \
         if deployment == "dufs" else builder(seed)
     cluster, dep, client, node, resolve, apply_backend = built
     duration = ops * op_interval

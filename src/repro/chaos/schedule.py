@@ -200,6 +200,9 @@ class RandomChaos:
             victim = candidates[rng.randrange(len(candidates))]
             downtime = rng.expovariate(1.0 / self.mean_downtime)
             sched.crash(t, victim)
-            sched.recover(t + downtime, victim)
+            # Clamp the paired recover into the run window: a crash landing
+            # within ``downtime`` of the end must not leave the node
+            # permanently down in the generated schedule.
+            sched.recover(min(t + downtime, self.duration), victim)
             down[victim] = t + downtime
         return sched

@@ -9,7 +9,10 @@ Usage::
     python -m repro bench [--json PATH]     # mdcache ablation, cache on vs off
     python -m repro bench --shards 1,2,4    # shard-scaling sweep (equal total
                                             # ZK servers split across shards)
+    python -m repro bench --resilience      # overload campaign, resilience
+                                            # off vs on at 2x saturation
     python -m repro chaos --shards 4        # sharded metadata plane + shard:<k>
+    python -m repro chaos --resilience      # deadlines+budget+breakers+hedging
     python -m repro all --scale medium
 """
 
@@ -81,6 +84,12 @@ def main(argv=None) -> int:
     parser.add_argument("--cache", action="store_true",
                         help="enable the client metadata cache (trace and "
                              "chaos; 'bench' always runs cache off AND on)")
+    parser.add_argument("--resilience", action="store_true",
+                        help="chaos: run the DUFS clients with the full "
+                             "resilience policy (deadline propagation, retry "
+                             "budget, breakers, hedged reads); bench: run "
+                             "the overload campaign comparing resilience "
+                             "off vs on at 2x the saturation load")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write machine-readable results to PATH "
                              "(bench and trace; '-' prints trace rows as "
@@ -108,12 +117,15 @@ def main(argv=None) -> int:
     for target in targets:
         if target == "chaos":
             from .chaos import run_chaos
-            from .models.params import CacheParams
+            from .models.params import CacheParams, ResilienceParams
             cache = CacheParams.caching_on() \
                 if args.cache and args.deployment == "dufs" else None
+            resilience = ResilienceParams.resilience_on(hedge_enabled=True) \
+                if args.resilience and args.deployment == "dufs" else None
             result = run_chaos(args.deployment, seed=args.seed, ops=args.ops,
                                cache=cache,
-                               shards=shard_counts[0] if shard_counts else 1)
+                               shards=shard_counts[0] if shard_counts else 1,
+                               resilience=resilience)
             print(result.summary())
         elif target == "trace":
             from .bench.trace_cli import run_trace
@@ -122,6 +134,14 @@ def main(argv=None) -> int:
                             cache=args.cache,
                             shards=shard_counts[0] if shard_counts else 1,
                             json_path=args.json))
+        elif target == "bench" and args.resilience:
+            from .bench import (render_resilience_overload,
+                                run_resilience_overload,
+                                write_resilience_bench_json)
+            doc = run_resilience_overload(scale=args.scale, seed=args.seed)
+            print(render_resilience_overload(doc))
+            if args.json:
+                print(f"[json] {write_resilience_bench_json(doc, args.json)}")
         elif target == "bench" and shard_counts:
             from .bench import (render_shard_scaling, run_shard_scaling,
                                 write_shard_bench_json)

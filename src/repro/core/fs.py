@@ -15,7 +15,8 @@ from typing import Any, List, Optional, Sequence
 from ..fuse.mount import FuseMount
 from ..fuse.ops import OperationTable
 from ..mds import ShardMap, ShardedMDS
-from ..models.params import CacheParams, FaultToleranceParams, SimParams
+from ..models.params import (CacheParams, FaultToleranceParams,
+                             ResilienceParams, SimParams)
 from ..pfs.localfs import LocalFS
 from ..pfs.lustre.fs import build_lustre
 from ..pfs.pvfs.fs import build_pvfs
@@ -117,6 +118,7 @@ def build_dufs_deployment(
     n_shards: int = 1,
     shard_strategy: str = "parent-hash",
     shard_subtrees: Optional[dict] = None,
+    resilience: Optional[ResilienceParams] = None,
 ) -> DUFSDeployment:
     """Wire up a complete DUFS installation on a fresh simulated cluster.
 
@@ -146,6 +148,15 @@ def build_dufs_deployment(
     default policy is off, which keeps the RPC stream byte-identical to a
     deployment without the cache layer.
 
+    Resilience: ``resilience`` (default: ``params.resilience``, all off)
+    configures the request-lifecycle layer on every ZK client — deadline
+    propagation to the servers, a token-bucket retry budget, per-endpoint
+    circuit breakers, and hedged reads
+    (:class:`~repro.models.params.ResilienceParams`;
+    ``ResilienceParams.resilience_on()`` is the everything-sensible
+    preset). The default leaves runs byte-identical to pre-resilience
+    builds.
+
     Sharding: ``n_shards > 1`` splits the ``n_zk`` server budget into
     that many *independent* ensembles (``max(1, n_zk // n_shards)``
     servers each — ``n_zk`` is always the TOTAL, so shard counts compare
@@ -158,6 +169,7 @@ def build_dufs_deployment(
     params = params or SimParams()
     fault = fault or params.fault
     cache = cache or params.cache
+    resilience = resilience or params.resilience
     if n_shards < 1:
         raise ValueError("n_shards must be >= 1")
     if bus is None and trace:
@@ -209,7 +221,7 @@ def build_dufs_deployment(
             zkc = ZKClient(node, ensemble.endpoints, prefer=prefer,
                            request_timeout=zk_request_timeout,
                            max_retries=zk_max_retries, name=f"dufszk{i}",
-                           fault=fault, bus=bus)
+                           fault=fault, bus=bus, resilience=resilience)
             service = zkc
             retries_of = lambda z=zkc: z.last_retries  # noqa: E731
         else:
@@ -229,7 +241,8 @@ def build_dufs_deployment(
                     ZKClient(node, ens.endpoints, prefer=prefer,
                              request_timeout=zk_request_timeout,
                              max_retries=zk_max_retries,
-                             name=f"dufszk{i}s{k}", fault=fault, bus=bus))
+                             name=f"dufszk{i}s{k}", fault=fault, bus=bus,
+                             resilience=resilience))
             zkc = shard_clients[0]
             service = ShardedMDS(shard_clients, shard_map=shard_map,
                                  name=f"mds{i}")

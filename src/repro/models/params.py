@@ -42,6 +42,63 @@ class FaultToleranceParams:
 
 
 @dataclass
+class ResilienceParams:
+    """End-to-end request-lifecycle policy (:mod:`repro.resilience`).
+
+    Everything defaults **off**: a deployment built with the default policy
+    schedules exactly the same simulator events as one built before the
+    resilience layer existed (byte-identical replay, same discipline as the
+    cache and shard layers).
+
+    - *Deadline propagation* (``deadline_propagation``): every top-level
+      operation carries an absolute deadline (``op_deadline`` seconds, or
+      the fault policy's ``op_budget`` when 0); RPCs attach it to the wire
+      request, nested RPCs inherit the remaining budget, and the service
+      kernel drops expired requests at admission and cancels read handlers
+      whose deadline passes mid-service.
+    - *Retry budget* (``retry_budget`` > 0): a per-client token bucket —
+      each retry spends one token, each success refills ``retry_refill`` —
+      so a retry storm self-extinguishes instead of amplifying overload.
+    - *Circuit breakers* (``breaker_enabled``): per-endpoint closed → open
+      after ``breaker_threshold`` consecutive timeout/error completions;
+      open endpoints fail fast for ``breaker_cooldown`` seconds, then one
+      half-open probe decides re-close vs re-open.
+    - *Hedged reads* (``hedge_enabled``): idempotent lookups are re-issued
+      to a different live server after the ``hedge_quantile`` of recently
+      observed read latency (``hedge_delay`` until ``hedge_min_samples``
+      have been seen); first reply wins, the loser is cancelled. Writes
+      are never hedged.
+    """
+
+    deadline_propagation: bool = False
+    op_deadline: float = 0.0           # 0 = derive from fault.op_budget
+    retry_budget: float = 0.0          # token-bucket cap; 0 = unlimited
+    retry_refill: float = 0.1          # tokens returned per success
+    backoff_base: float = 0.0          # extra client backoff (Lustre/PVFS)
+    backoff_cap: float = 1.0
+    breaker_enabled: bool = False
+    breaker_threshold: int = 5         # consecutive failures to trip
+    breaker_cooldown: float = 1.0      # open -> half-open delay (seconds)
+    hedge_enabled: bool = False
+    hedge_delay: float = 0.05          # fallback delay before hedging
+    hedge_quantile: float = 0.95       # latency percentile that arms hedges
+    hedge_window: int = 128            # rolling latency samples kept
+    hedge_min_samples: int = 16        # below this, hedge_delay is used
+
+    @classmethod
+    def resilience_on(cls, **overrides) -> "ResilienceParams":
+        """The standard enabled policy used by benchmarks and chaos runs:
+        deadlines + retry budgets + breakers (hedging stays opt-in — under
+        overload it adds load; enable it explicitly for tail-latency
+        experiments)."""
+        base = dict(deadline_propagation=True, retry_budget=10.0,
+                    retry_refill=0.1, breaker_enabled=True,
+                    backoff_base=0.02)
+        base.update(overrides)
+        return cls(**base)
+
+
+@dataclass
 class ZKParams:
     """ZooKeeper server cost model.
 
@@ -91,6 +148,14 @@ class ZKParams:
     ping_interval: float = 0.15
     ping_timeout: float = 0.45
     election_tick: float = 0.08
+
+    # Admission policy for every server of the ensemble: "direct"
+    # (unbounded, the default — event-for-event identical to the
+    # pre-kernel servers), "bounded:N[:M]" or "priority:N[:M]" (at most N
+    # in service; with M, arrivals beyond M waiters are rejected with
+    # AdmissionReject instead of queueing without bound — the overload
+    # shedding the resilience bench leans on).
+    admission: str = "direct"
 
 
 @dataclass
@@ -149,6 +214,8 @@ class LustreParams:
     client_rpc_timeout: float | None = None
     # Standby takeover delay: detect + mount shared MDT + replay journal.
     failover_takeover_delay: float = 2.0
+    # Client request-lifecycle policy (deadlines / retry budget / breaker).
+    resilience: ResilienceParams = field(default_factory=ResilienceParams)
 
     # directory entry ops slow down logarithmically with directory size
     dirent_cpu_coef: float = 18e-6     # × ln(1 + entries)
@@ -188,6 +255,8 @@ class PVFSParams:
     # Client RPC timeout (None = infinite, the 2.8-era sysint behaviour).
     # Set in chaos runs so a crashed server surfaces as EIO, not a hang.
     client_rpc_timeout: float | None = None
+    # Client request-lifecycle policy (deadlines / retry budget / breaker).
+    resilience: ResilienceParams = field(default_factory=ResilienceParams)
 
 
 @dataclass
@@ -259,6 +328,7 @@ class SimParams:
     dufs: DUFSParams = field(default_factory=DUFSParams)
     fault: FaultToleranceParams = field(default_factory=FaultToleranceParams)
     cache: CacheParams = field(default_factory=CacheParams)
+    resilience: ResilienceParams = field(default_factory=ResilienceParams)
 
     node_cores: int = 8                # dual Xeon E5335
     client_op_cpu: float = 18e-6       # mdtest/app-side cost per op

@@ -1,0 +1,99 @@
+"""Hedged reads: race a delayed duplicate of an idempotent lookup.
+
+After waiting a delay tied to the operation's recent latency tail (the
+p95 by default, per "The Tail at Scale"), a second copy of the request is
+issued to a *different* server and the first successful reply wins; the
+loser is interrupted and its late response is discarded by the RPC layer
+(the rpc_id waiter is popped on cancellation, never recycled). Restricted
+by callers to idempotent reads — a hedged write could be acknowledged
+twice — and off by default: no tracker, no extra processes, no events.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Generator
+
+from ..sim.core import AnyOf, Interrupt
+
+
+class LatencyTracker:
+    """Rolling latency window; ``delay()`` is the hedging trigger point.
+
+    Until ``min_samples`` observations arrive the configured default
+    delay is used — hedging against an empty window would fire blind.
+    """
+
+    def __init__(self, window: int = 128, quantile: float = 0.95,
+                 min_samples: int = 16, default_delay: float = 0.05):
+        self.samples: deque = deque(maxlen=window)
+        self.quantile = quantile
+        self.min_samples = min_samples
+        self.default_delay = default_delay
+
+    def record(self, dt: float) -> None:
+        self.samples.append(dt)
+
+    def delay(self) -> float:
+        if len(self.samples) < self.min_samples:
+            return self.default_delay
+        ordered = sorted(self.samples)
+        idx = min(len(ordered) - 1, int(self.quantile * len(ordered)))
+        return ordered[idx]
+
+
+def _boxed(gen_fn: Callable[[], Generator], box: list) -> Generator:
+    """Run ``gen_fn()`` capturing its outcome; nothing escapes into the
+    strict simulator (an escaping exception would abort the whole run)."""
+    try:
+        box.append(("ok", (yield from gen_fn())))
+    except Interrupt:
+        box.append(("interrupted", None))
+    except Exception as exc:
+        box.append(("err", exc))
+
+
+def hedged(node, primary: Callable[[], Generator],
+           secondary: Callable[[], Generator],
+           delay: float) -> Generator:
+    """Race ``primary()`` against a ``delay``-deferred ``secondary()``.
+
+    Returns ``(value, hedge_won)`` from the first attempt to *succeed*;
+    if one attempt fails the other is awaited, and only when both fail is
+    the primary's error (or the sole error seen) re-raised. The losing
+    in-flight attempt is interrupted. Both attempts inherit the ambient
+    deadline of the calling process like any spawned child.
+    """
+    sim = node.sim
+    box1: list = []
+    box2: list = []
+    p1 = node.spawn(_boxed(primary, box1), "hedge.primary")
+    p2 = None
+    timer = sim.timeout(max(0.0, delay))
+    yield AnyOf(sim, (p1, timer))
+    if not box1:
+        p2 = node.spawn(_boxed(secondary, box2), "hedge.secondary")
+        yield AnyOf(sim, (p1, p2))
+    while True:
+        if box1 and box1[0][0] == "ok":
+            if p2 is not None and p2.is_alive:
+                p2.interrupt("hedge-lost")
+            return box1[0][1], False
+        if box2 and box2[0][0] == "ok":
+            if p1.is_alive:
+                p1.interrupt("hedge-lost")
+            return box2[0][1], True
+        # No success yet: wait for whichever attempt is still running.
+        if p1.is_alive:
+            yield p1
+        elif p2 is not None and p2.is_alive:
+            yield p2
+        else:
+            break
+    # Both attempts concluded without success: surface the primary's
+    # error, falling back to the hedge's (an interrupted attempt carries
+    # none — re-raise Interrupt so the caller's own teardown runs).
+    for box in (box1, box2):
+        if box and box[0][0] == "err":
+            raise box[0][1]
+    raise Interrupt("hedge-cancelled")

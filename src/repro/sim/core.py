@@ -124,7 +124,8 @@ class Process(Event):
     in, if the event failed and nothing defused it).
     """
 
-    __slots__ = ("gen", "name", "_target", "_interrupts", "_started")
+    __slots__ = ("gen", "name", "deadline", "_target", "_interrupts",
+                 "_started")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         super().__init__(sim)
@@ -132,6 +133,13 @@ class Process(Event):
             raise TypeError(f"process target must be a generator, got {gen!r}")
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
+        # Ambient absolute deadline (None = unbounded). Inherited from the
+        # spawning process so nested work — RPC handlers issuing their own
+        # RPCs — automatically operates under the remaining budget of the
+        # request that spawned it (repro.resilience deadline propagation).
+        parent = sim._active
+        self.deadline: Optional[float] = (
+            parent.deadline if parent is not None else None)
         self._target: Optional[Event] = None
         self._interrupts: list = []
         self._started = False

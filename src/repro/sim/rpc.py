@@ -19,6 +19,8 @@ from .node import Node
 DEFAULT_REQ_SIZE = 192
 DEFAULT_RESP_SIZE = 160
 
+_UNSET = object()   # sentinel: "inherit the ambient deadline"
+
 
 class RpcTimeout(Exception):
     """The reply did not arrive within the caller's deadline."""
@@ -33,6 +35,21 @@ class RemoteError(Exception):
     """Wrapper for non-FS exceptions raised by a remote handler."""
 
 
+class RequestExpired(Exception):
+    """Server-side: the request's propagated deadline has already passed.
+
+    Raised inside the service stack (admission drop or mid-service cancel)
+    to abandon work whose caller has necessarily timed out. ``_serve``
+    swallows it without sending a reply — there is nobody left to hear it.
+    """
+
+    def __init__(self, method: str, deadline: float, now: float):
+        super().__init__(
+            f"request {method} expired {now - deadline:.6f}s past deadline")
+        self.method = method
+        self.deadline = deadline
+
+
 @dataclass(frozen=True)
 class _Request:
     rpc_id: int
@@ -40,6 +57,7 @@ class _Request:
     method: str
     args: Any
     resp_size: int
+    deadline: Optional[float] = None   # absolute sim time; None = unbounded
 
 
 @dataclass(frozen=True)
@@ -109,8 +127,11 @@ class RpcAgent:
                 if waiter is not None and not waiter.triggered:
                     waiter.succeed(payload)
             elif isinstance(payload, _Request):
-                self.node.spawn(self._serve(payload),
-                                f"{self.endpoint}.{payload.method}")
+                proc = self.node.spawn(self._serve(payload),
+                                       f"{self.endpoint}.{payload.method}")
+                # The handler process runs under the caller's remaining
+                # budget; nested RPCs it issues inherit it ambiently.
+                proc.deadline = payload.deadline
             elif isinstance(payload, _Cast):
                 fast = self.fast_handlers.get(payload.method)
                 if fast is not None:
@@ -136,6 +157,8 @@ class RpcAgent:
                 resp = _Response(req.rpc_id, True, value)
             except Interrupt:
                 return  # node died mid-service; caller will time out
+            except RequestExpired:
+                return  # caller's deadline passed; nobody to reply to
             except Exception as exc:
                 resp = _Response(req.rpc_id, False, exc)
         self.network.send(self.endpoint, req.reply_to, resp, resp_size)
@@ -155,26 +178,51 @@ class RpcAgent:
         size: int = DEFAULT_REQ_SIZE,
         resp_size: int = DEFAULT_RESP_SIZE,
         timeout: Optional[float] = None,
+        deadline: Any = _UNSET,
     ) -> Generator:
-        """Issue an RPC and wait for the reply (``yield from`` this)."""
+        """Issue an RPC and wait for the reply (``yield from`` this).
+
+        ``deadline`` is an *absolute* sim time carried to the server so the
+        service stack can drop the request once the caller must have given
+        up. Left unset, it inherits the ambient deadline of the calling
+        process (None = unbounded, the default); pass ``None`` explicitly
+        to opt a call out of an inherited deadline. A set deadline also
+        caps the local wait: the call raises :class:`RpcTimeout` no later
+        than the deadline, immediately if it has already passed.
+        """
+        if deadline is _UNSET:
+            active = self.sim._active
+            deadline = active.deadline if active is not None else None
+        if deadline is not None:
+            remaining = deadline - self.sim.now
+            if remaining <= 0.0:
+                raise RpcTimeout(dst, method)
+            timeout = (remaining if timeout is None
+                       else min(timeout, remaining))
         self._next_id += 1
         rpc_id = self._next_id
         waiter = self.sim.event()
         self._pending[rpc_id] = waiter
-        req = _Request(rpc_id, self.endpoint, method, args, resp_size)
+        req = _Request(rpc_id, self.endpoint, method, args, resp_size,
+                       deadline)
         self.network.send(self.endpoint, dst, req, size)
-        if timeout is None:
-            resp = yield waiter
-        else:
-            expiry = self.sim.timeout(timeout)
-            yield AnyOf(self.sim, (waiter, expiry))
-            if not waiter.triggered or waiter.value is None:
-                self._pending.pop(rpc_id, None)
-                if not waiter.triggered:
-                    waiter._ok = True  # detach: response may still arrive
-                    waiter._value = None
-                raise RpcTimeout(dst, method)
-            resp = waiter.value
+        try:
+            if timeout is None:
+                resp = yield waiter
+            else:
+                expiry = self.sim.timeout(timeout)
+                yield AnyOf(self.sim, (waiter, expiry))
+                if not waiter.triggered or waiter.value is None:
+                    if not waiter.triggered:
+                        waiter._ok = True  # detach: response may still arrive
+                        waiter._value = None
+                    raise RpcTimeout(dst, method)
+                resp = waiter.value
+        finally:
+            # Success pops in the dispatcher; this covers timeout and a
+            # caller interrupted mid-wait (hedge cancellation) so the late
+            # response is discarded instead of leaking a waiter forever.
+            self._pending.pop(rpc_id, None)
         if resp.ok:
             return resp.value
         raise resp.value

@@ -11,6 +11,7 @@ from .batch import Batcher
 from .kernel import OpSpec, Service, instrument_client
 from .queue import (
     AdmissionPolicy,
+    AdmissionReject,
     BoundedAdmission,
     DirectAdmission,
     PriorityAdmission,
@@ -19,7 +20,8 @@ from .queue import (
 from .trace import NULL_BUS, NullBus, OpTrace, TraceBus
 
 __all__ = [
-    "AdmissionPolicy", "Batcher", "BoundedAdmission", "DirectAdmission",
-    "NULL_BUS", "NullBus", "OpSpec", "OpTrace", "PriorityAdmission",
-    "Service", "TraceBus", "instrument_client", "make_policy",
+    "AdmissionPolicy", "AdmissionReject", "Batcher", "BoundedAdmission",
+    "DirectAdmission", "NULL_BUS", "NullBus", "OpSpec", "OpTrace",
+    "PriorityAdmission", "Service", "TraceBus", "instrument_client",
+    "make_policy",
 ]

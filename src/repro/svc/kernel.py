@@ -19,10 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, Optional
 
+from ..sim.core import AnyOf, Interrupt
 from ..sim.node import Node
-from ..sim.rpc import DEFAULT_RESP_SIZE, RpcAgent
+from ..sim.rpc import DEFAULT_RESP_SIZE, RequestExpired, RpcAgent
 from ..sim.stats import Counter
-from .queue import AdmissionPolicy, DirectAdmission
+from .queue import AdmissionPolicy, AdmissionReject, DirectAdmission
 from .trace import NULL_BUS, OpTrace, TraceBus
 
 
@@ -106,14 +107,46 @@ class Service:
     def _instrumented(self, method: str, handler: Callable) -> Callable:
         def wrapper(src: str, args: Any) -> Generator:
             arrive = self.sim.now
-            token = self.policy.admit(method)
+            # Ambient deadline, propagated from the caller's _Request by
+            # the RPC dispatcher onto this handler process. None (the
+            # default) reproduces the pre-resilience kernel event-for-event.
+            proc = self.sim._active
+            deadline = proc.deadline if proc is not None else None
+            if deadline is not None and arrive >= deadline:
+                # Dead on arrival: the caller has already timed out.
+                self.bus.mark_expired(self.deployment, self.endpoint, method)
+                raise RequestExpired(method, deadline, arrive)
+            try:
+                token = self.policy.admit(method)
+            except AdmissionReject:
+                self.bus.mark_rejected(self.deployment, self.endpoint, method)
+                raise
             if token is not None:
-                yield token
+                if deadline is None:
+                    yield token
+                else:
+                    # Stop queueing at the deadline: cancel the claim and
+                    # shed the request instead of serving a dead caller.
+                    guard = self.sim.timeout(deadline - self.sim.now)
+                    yield AnyOf(self.sim, (token, guard))
+                    if not token.triggered:
+                        self.policy.release(token)
+                        self.bus.mark_expired(self.deployment,
+                                              self.endpoint, method)
+                        raise RequestExpired(method, deadline, self.sim.now)
             start = self.sim.now
             self.inflight += 1
             ok = False
             try:
-                result = yield from handler(src, args)
+                spec = self.specs.get(method)
+                if deadline is None or spec is None or spec.write:
+                    # Writes are never cancelled mid-service: once in the
+                    # replication/commit pipeline, abandoning them could
+                    # lose state another replica already acknowledged.
+                    result = yield from handler(src, args)
+                else:
+                    result = yield from self._cancellable(
+                        method, handler, src, args, deadline)
                 ok = True
                 return result
             finally:
@@ -130,6 +163,40 @@ class Service:
                                         ok, src, shard=self.shard))
 
         return wrapper
+
+    def _cancellable(self, method: str, handler: Callable, src: str,
+                     args: Any, deadline: float) -> Generator:
+        """Run a read handler raced against its deadline.
+
+        The handler body runs in a child process (inheriting the deadline
+        ambiently) whose outcome is boxed so nothing escapes into the
+        strict simulator; if the deadline fires first the child is
+        interrupted — ``cpu_work``/``disk_io`` release their claims via
+        ``finally`` — and the request is accounted as expired.
+        """
+        box: list = []
+
+        def body() -> Generator:
+            try:
+                box.append(("ok", (yield from handler(src, args))))
+            except Interrupt:
+                box.append(("interrupted", None))
+            except Exception as exc:
+                box.append(("err", exc))
+
+        child = self.node.spawn(body(), f"{self.endpoint}.{method}.body")
+        guard = self.sim.timeout(max(0.0, deadline - self.sim.now))
+        yield AnyOf(self.sim, (child, guard))
+        if not box:
+            child.interrupt("deadline")
+            self.bus.mark_expired(self.deployment, self.endpoint, method)
+            raise RequestExpired(method, deadline, self.sim.now)
+        kind, value = box[0]
+        if kind == "ok":
+            return value
+        if kind == "err":
+            raise value
+        raise Interrupt("cancelled")  # node died under us; _serve swallows
 
 
 def instrument_client(obj: Any, methods, bus: TraceBus, deployment: str,

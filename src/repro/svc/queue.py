@@ -26,13 +26,32 @@ from ..sim.core import Simulator
 from ..sim.resources import PriorityResource, Request, Resource
 
 
+class AdmissionReject(Exception):
+    """The admission queue is full: the request is refused outright.
+
+    Raised synchronously by ``admit()`` (no token is ever issued, so there
+    is nothing to release) and marshalled back to the caller like any other
+    handler error. Clients treat it as retryable — load-shedding, not
+    failure — and their retry policy spaces out the re-offer.
+    """
+
+    def __init__(self, endpoint_method: str, depth: int):
+        super().__init__(f"admission queue full for {endpoint_method} "
+                         f"({depth} waiting)")
+        self.depth = depth
+
+
 class AdmissionPolicy:
     """Interface (and pass-through default) for admission policies."""
 
     name = "direct"
 
     def admit(self, method: str) -> Optional[Request]:
-        """None = start service now; else an event to yield first."""
+        """None = start service now; else an event to yield first.
+
+        May raise :class:`AdmissionReject` instead (bounded policies with
+        a queue limit); a rejected request holds no token.
+        """
         return None
 
     def release(self, token: Optional[Request]) -> None:
@@ -49,14 +68,28 @@ class DirectAdmission(AdmissionPolicy):
 
 
 class BoundedAdmission(AdmissionPolicy):
-    """FIFO admission with a concurrency bound."""
+    """FIFO admission with a concurrency bound.
+
+    ``max_queue`` (optional) caps the number of *waiting* requests:
+    arrivals beyond it are refused with :class:`AdmissionReject` instead
+    of queueing without bound — the difference between a server that
+    degrades and one that builds an unbounded backlog under overload.
+    """
 
     name = "bounded"
 
-    def __init__(self, sim: Simulator, capacity: int):
+    def __init__(self, sim: Simulator, capacity: int,
+                 max_queue: Optional[int] = None):
         self.resource = Resource(sim, capacity)
+        self.max_queue = max_queue
 
     def admit(self, method: str) -> Optional[Request]:
+        # Reject only when service is saturated AND the wait queue is at
+        # its bound — max_queue=0 means "admit only into a free slot".
+        if (self.max_queue is not None
+                and len(self.resource.users) >= self.resource.capacity
+                and len(self.resource.queue) >= self.max_queue):
+            raise AdmissionReject(method, len(self.resource.queue))
         return self.resource.request()
 
     def release(self, token: Optional[Request]) -> None:
@@ -74,11 +107,17 @@ class PriorityAdmission(AdmissionPolicy):
     name = "priority"
 
     def __init__(self, sim: Simulator, capacity: int,
-                 priority_of: Optional[Callable[[str], int]] = None):
+                 priority_of: Optional[Callable[[str], int]] = None,
+                 max_queue: Optional[int] = None):
         self.resource = PriorityResource(sim, capacity)
         self.priority_of = priority_of or (lambda method: 0)
+        self.max_queue = max_queue
 
     def admit(self, method: str) -> Optional[Request]:
+        if (self.max_queue is not None
+                and len(self.resource.users) >= self.resource.capacity
+                and self.depth >= self.max_queue):
+            raise AdmissionReject(method, self.depth)
         return self.resource.request(self.priority_of(method))
 
     def release(self, token: Optional[Request]) -> None:
@@ -87,19 +126,23 @@ class PriorityAdmission(AdmissionPolicy):
 
     @property
     def depth(self) -> int:
-        return len(self.resource._pq)
+        # Cancelled entries are lazily discarded on pop; don't count them.
+        return sum(1 for _, _, r in self.resource._pq if not r.triggered)
 
 
 def make_policy(spec: str, sim: Simulator,
                 priority_of: Optional[Callable[[str], int]] = None):
     """Build a policy from a config string: ``"direct"``, ``"bounded:N"``
-    or ``"priority:N"``."""
+    or ``"priority:N"`` — with an optional second number (``"bounded:N:M"``)
+    bounding the wait queue at ``M`` (overflow → :class:`AdmissionReject`)."""
     if spec in ("direct", "fifo", ""):
         return DirectAdmission()
-    kind, _, arg = spec.partition(":")
-    capacity = int(arg) if arg else 1
+    parts = spec.split(":")
+    kind = parts[0]
+    capacity = int(parts[1]) if len(parts) > 1 and parts[1] else 1
+    max_queue = int(parts[2]) if len(parts) > 2 and parts[2] else None
     if kind == "bounded":
-        return BoundedAdmission(sim, capacity)
+        return BoundedAdmission(sim, capacity, max_queue)
     if kind == "priority":
-        return PriorityAdmission(sim, capacity, priority_of)
+        return PriorityAdmission(sim, capacity, priority_of, max_queue)
     raise ValueError(f"unknown admission policy {spec!r}")

@@ -66,6 +66,8 @@ class TraceBus:
         self.ops = Counter()            # key -> completions (ok + error)
         self.errors = Counter()         # key -> failed completions
         self.retries = Counter()        # key -> client retry attempts
+        self.expired = Counter()        # key -> deadline-expired drops/cancels
+        self.rejected = Counter()       # key -> admission-queue refusals
         self.queue_wait = LatencyRecorder()
         self.service = LatencyRecorder()
         self.events: Optional[List[OpTrace]] = [] if keep_events else None
@@ -95,12 +97,29 @@ class TraceBus:
         up in the ``ops`` column of the table with no latency content."""
         self.record(OpTrace(deployment, endpoint, method, now, now, now, ok))
 
+    def mark_expired(self, deployment: str, endpoint: str,
+                     method: str) -> None:
+        """Count a request dropped (or cancelled mid-service) because its
+        propagated deadline passed. Expired requests are shed work — they
+        are *not* completions, so they don't touch ``ops``/``errors``."""
+        self.expired.inc(f"{deployment}/{endpoint}.{method}")
+
+    def mark_rejected(self, deployment: str, endpoint: str,
+                      method: str) -> None:
+        """Count an arrival refused by a full admission queue."""
+        self.rejected.inc(f"{deployment}/{endpoint}.{method}")
+
     def subscribe(self, fn: Callable[[OpTrace], None]) -> None:
         self._subscribers.append(fn)
 
     # -- export ------------------------------------------------------------
     def keys(self) -> List[str]:
-        return sorted(self.ops.as_dict())
+        # Union with the shed-work counters: an endpoint whose requests all
+        # expired or were rejected still deserves a row.
+        seen = set(self.ops.as_dict())
+        seen.update(self.expired.as_dict())
+        seen.update(self.rejected.as_dict())
+        return sorted(seen)
 
     def histogram(self, key: str, which: str = "service",
                   edges: Optional[Sequence[float]] = None) -> Histogram:
@@ -116,6 +135,8 @@ class TraceBus:
                 "ops": self.ops.get(key),
                 "errors": self.errors.get(key),
                 "retries": self.retries.get(key),
+                "expired": self.expired.get(key),
+                "rejected": self.rejected.get(key),
                 "shard": self.shard_of.get(key, 0),
                 "queue_wait_mean": qw.mean if qw else 0.0,
                 "queue_wait_p95": qw.p95 if qw else 0.0,
@@ -147,6 +168,14 @@ class NullBus(TraceBus):
         super().__init__()
 
     def record(self, ev: OpTrace) -> None:  # noqa: ARG002 - interface
+        return
+
+    def mark_expired(self, deployment: str, endpoint: str,  # noqa: ARG002
+                     method: str) -> None:
+        return
+
+    def mark_rejected(self, deployment: str, endpoint: str,  # noqa: ARG002
+                      method: str) -> None:
         return
 
 

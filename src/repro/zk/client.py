@@ -23,10 +23,13 @@ import dataclasses
 import itertools
 from typing import Any, Callable, Generator, List, Optional, Sequence
 
-from ..models.params import FaultToleranceParams
+from ..models.params import FaultToleranceParams, ResilienceParams
+from ..resilience import (BreakerBoard, LatencyTracker, RetryBudget,
+                          RetryPolicy, hedged)
 from ..sim.node import Node
 from ..sim.rpc import RpcAgent, RpcTimeout
 from ..svc import NULL_BUS, OpTrace, TraceBus
+from ..svc.queue import AdmissionReject
 from .errors import ConnectionLossError, NotLeaderError, SessionExpiredError
 from .protocol import ReadRequest, WatchEvent, WriteRequest
 
@@ -48,6 +51,7 @@ class ZKClient:
         name: Optional[str] = None,
         fault: Optional[FaultToleranceParams] = None,
         bus: Optional[TraceBus] = None,
+        resilience: Optional[ResilienceParams] = None,
     ):
         if not servers:
             raise ValueError("need at least one server endpoint")
@@ -72,6 +76,28 @@ class ZKClient:
         self.bus = bus if bus is not None else NULL_BUS
         ident = name or f"zkcli{next(_client_seq)}"
         self._backoff_stream = f"zk.client.{ident}"
+        # Resilience policy: at the defaults every component below is
+        # inert (no events, no RNG draws, no fast-fails), reproducing the
+        # legacy retry loop byte-for-byte.
+        self.resilience = resilience or ResilienceParams()
+        r = self.resilience
+        self.retry = RetryPolicy(
+            node.cluster.streams, self._backoff_stream,
+            max_retries=self.max_retries,
+            backoff_base=self.fault.backoff_base,
+            backoff_cap=self.fault.backoff_cap,
+            op_budget=self.fault.op_budget,
+            budget=RetryBudget(r.retry_budget, r.retry_refill))
+        self.breakers = BreakerBoard(node.sim, r.breaker_threshold,
+                                     r.breaker_cooldown,
+                                     enabled=r.breaker_enabled)
+        self._hedge_tracker = LatencyTracker(r.hedge_window,
+                                             r.hedge_quantile,
+                                             r.hedge_min_samples,
+                                             r.hedge_delay)
+        self.hedges = 0             # secondary reads actually issued
+        self.hedges_won = 0         # ops where the hedge replied first
+        self.breaker_fastfails = 0  # attempts skipped on an open breaker
         self.agent = RpcAgent(node, ident)
         self.agent.register_fast("watch_event", self._on_watch_event)
         self._watch_callbacks: dict[str, List[Callable[[WatchEvent], None]]] = {}
@@ -120,24 +146,52 @@ class ZKClient:
 
     def _request(self, method: str, args: Any, size: int = 160) -> Generator:
         f = self.fault
+        r = self.resilience
         t0 = self.sim.now
-        deadline = t0 + f.op_budget if f.op_budget else None
-        prev_sleep = f.backoff_base
+        # Sync the policy with any post-construction knob changes (tests
+        # and the chaos runner tweak max_retries/fault in place).
+        policy = self.retry
+        policy.max_retries = self.max_retries
+        policy.backoff_base = f.backoff_base
+        policy.backoff_cap = f.backoff_cap
+        policy.op_budget = f.op_budget
+        state = policy.begin(t0)
+        # Server-visible absolute deadline, carried on each _Request so
+        # the svc kernel can shed the op once we must have given up.
+        rpc_deadline = None
+        if r.deadline_propagation:
+            span = r.op_deadline if r.op_deadline > 0 else f.op_budget
+            rpc_deadline = t0 + span if span else None
         reconnects = 0
-        attempt = 0
         ok = False
         try:
             while True:
+                server = self.server
+                if not self.breakers.allow(server):
+                    # Fast-fail: no RPC, no timeout burned on a known-dead
+                    # endpoint. Charged like any other failed attempt.
+                    self.breaker_fastfails += 1
+                    state.attempt += 1
+                    if policy.exhausted(state, self.sim.now):
+                        raise ConnectionLossError(
+                            msg=f"breaker open for {server}") from None
+                    self._fail_over()
+                    sleep = policy.next_backoff(state)
+                    if sleep > 0:
+                        yield self.sim.timeout(sleep)
+                    continue
                 try:
-                    result = yield from self.agent.call(
-                        self.server, method, args, size=size,
-                        timeout=self.request_timeout)
+                    result = yield from self._issue(server, method, args,
+                                                    size, rpc_deadline)
                     ok = True
+                    self.breakers.on_success(server)
+                    policy.on_success()
                     return result
                 except SessionExpiredError:
                     # The server no longer knows our session: re-establish
                     # it and rebind the request, unless the caller opted
                     # out or this *is* session management.
+                    self.breakers.on_success(server)  # endpoint is alive
                     reconnects += 1
                     if (not f.reconnect_on_expiry or reconnects > 2
                             or method in ("connect", "close_session")):
@@ -147,28 +201,80 @@ class ZKClient:
                     self._notify_watch_loss("session")
                     if isinstance(args, WriteRequest):
                         args = self._rebind_session(args)
-                except (RpcTimeout, ConnectionLossError,
-                        NotLeaderError) as exc:
-                    attempt += 1
-                    exhausted = attempt > self.max_retries or (
-                        deadline is not None and self.sim.now >= deadline)
-                    if exhausted:
-                        if isinstance(exc, RpcTimeout):
+                except (RpcTimeout, ConnectionLossError, NotLeaderError,
+                        AdmissionReject) as exc:
+                    self.breakers.on_failure(server)
+                    state.attempt += 1
+                    if policy.exhausted(state, self.sim.now):
+                        if isinstance(exc, (RpcTimeout, AdmissionReject)):
                             raise ConnectionLossError(msg=str(exc)) from None
                         raise
                     self._fail_over()
-                    sleep = self._backoff(prev_sleep)
-                    prev_sleep = max(sleep, f.backoff_base)
+                    sleep = policy.next_backoff(state)
                     if sleep > 0:
                         yield self.sim.timeout(sleep)
         finally:
             # Published last so nested connect() calls cannot clobber it;
             # callers use it to disambiguate retried non-idempotent writes.
-            self.last_retries = attempt + reconnects
+            self.last_retries = state.attempt + reconnects
             self.bus.record(OpTrace("zk", self.agent.endpoint, method, t0, t0,
                                     self.sim.now, ok,
                                     retries=self.last_retries,
                                     shard=self.shard))
+
+    def _issue(self, server: str, method: str, args: Any, size: int,
+               rpc_deadline: Optional[float]) -> Generator:
+        """One attempt: a plain call, or a hedged pair for reads."""
+        r = self.resilience
+        kw: dict = {}
+        if rpc_deadline is not None:
+            kw["deadline"] = rpc_deadline
+        hedging = (r.hedge_enabled and method == "read"
+                   and len(self.servers) > 1)
+        if not hedging:
+            result = yield from self.agent.call(
+                server, method, args, size=size,
+                timeout=self.request_timeout, **kw)
+            return result
+        t_start = self.sim.now
+        alt = self._hedge_target(server)
+        if alt is None:
+            result = yield from self.agent.call(
+                server, method, args, size=size,
+                timeout=self.request_timeout, **kw)
+            self._hedge_tracker.record(self.sim.now - t_start)
+            return result
+
+        def primary():
+            return self.agent.call(server, method, args, size=size,
+                                   timeout=self.request_timeout, **kw)
+
+        def secondary():
+            self.hedges += 1
+            return self.agent.call(alt, method, args, size=size,
+                                   timeout=self.request_timeout, **kw)
+
+        result, won = yield from hedged(self.node, primary, secondary,
+                                        self._hedge_tracker.delay())
+        if won:
+            self.hedges_won += 1
+        self._hedge_tracker.record(self.sim.now - t_start)
+        return result
+
+    def _hedge_target(self, server: str) -> Optional[str]:
+        """Another live server to hedge a read against (breaker-aware);
+        None if every alternative is down or open-circuited."""
+        n = len(self.servers)
+        idx = self.servers.index(server)
+        for k in range(1, n):
+            ep = self.servers[(idx + k) % n]
+            if self.node.network.is_down(ep):
+                continue
+            br = self.breakers.breakers.get(ep)
+            if br is not None and br.state == "open":
+                continue
+            return ep
+        return None
 
     def _rebind_session(self, req: WriteRequest) -> WriteRequest:
         session = self.session or 0

@@ -146,8 +146,11 @@ class ZKServer:
         self.stats = {"reads": 0, "writes": 0, "proposals": 0, "commits": 0,
                       "forwards": 0, "elections": 0, "gap_resyncs": 0}
 
+        from ..svc.queue import make_policy
         self.svc = Service(node, self.endpoint, deployment="zk", bus=bus,
-                           op_stats=self.stats)
+                           op_stats=self.stats,
+                           policy=make_policy(self.params.admission,
+                                              node.sim))
         self.agent = self.svc.agent
         self._register_handlers()
         node.on_crash(self._on_crash)

@@ -1,0 +1,82 @@
+"""Resilience overload campaign: arm harness + regression gate logic."""
+
+from repro.bench import check_resilience_regression, \
+    render_resilience_overload
+from repro.bench.resilience_bench import GOODPUT_FLOOR, _run_arm
+
+
+def make_cell(goodput_off, goodput_on, load=2.0):
+    def arm(goodput, resilient):
+        return {
+            "load": load, "resilient": resilient, "offered_ops_s": 1000.0,
+            "issued": 4000, "ok": int(goodput * 4), "err": 0,
+            "goodput_ops_s": goodput, "success_rate": goodput / 1000.0,
+            "latency_p95": 0.05,
+            "server": {"served": 100, "expired": 5, "rejected": 0},
+            "clients": {"retry_tokens_spent": 10, "retries_denied": 3,
+                        "breaker_trips": 2, "breaker_fastfails": 7},
+        }
+    return {"off": arm(goodput_off, False), "on": arm(goodput_on, True)}
+
+
+def make_doc(goodput_off=100.0, goodput_on=300.0):
+    return {
+        "benchmark": "resilience_overload", "scale": "quick", "seed": 0,
+        "duration": 4.0, "n_clients": 4, "capacity_ops_s": 500.0,
+        "fault": {}, "resilience_on": {},
+        "loads": {"2.0": make_cell(goodput_off, goodput_on)},
+        "gate": {"load": "2.0", "goodput_off": goodput_off,
+                 "goodput_on": goodput_on,
+                 "on_over_off": goodput_on / goodput_off,
+                 "floor": GOODPUT_FLOOR},
+    }
+
+
+def test_gate_passes_above_floor():
+    assert check_resilience_regression(make_doc(100.0, 300.0)) == []
+
+
+def test_gate_fails_below_floor():
+    failures = check_resilience_regression(make_doc(100.0, 120.0))
+    assert len(failures) == 1 and "floor" in failures[0]
+
+
+def test_baseline_regression_detected_per_cell():
+    baseline = make_doc(100.0, 300.0)
+    current = make_doc(100.0, 200.0)       # on-arm lost a third
+    failures = check_resilience_regression(current, baseline,
+                                           tolerance=0.25)
+    assert len(failures) == 1
+    assert "on @ 2.0x" in failures[0]
+    # Within tolerance: clean.
+    assert check_resilience_regression(make_doc(95.0, 290.0), baseline,
+                                       tolerance=0.25) == []
+
+
+def test_baseline_missing_cell_is_flagged():
+    baseline = make_doc()
+    current = make_doc()
+    current["loads"]["3.0"] = make_cell(50.0, 150.0, load=3.0)
+    failures = check_resilience_regression(current, baseline)
+    assert any("no entry for load 3.0x" in f for f in failures)
+
+
+def test_render_mentions_gate_and_arms():
+    text = render_resilience_overload(make_doc())
+    assert "gate:" in text and " off " in text and " on " in text
+    assert "3.00x" in text                 # the on/off ratio
+
+
+def test_arm_harness_structure_and_baseline_health():
+    """A short real run of one arm: structural keys + sanity. At a load
+    well under the knee every issued op must succeed in either arm."""
+    r = _run_arm(load=0.3, resilient=False, duration=0.5, n_clients=2,
+                 seed=0)
+    assert r["issued"] > 0 and r["ok"] == r["issued"]
+    assert r["success_rate"] == 1.0
+    assert r["server"]["served"] >= r["ok"]
+    on = _run_arm(load=0.3, resilient=True, duration=0.5, n_clients=2,
+                  seed=0)
+    # Below the knee the resilience layer must not change the outcome.
+    assert on["ok"] == r["ok"] and on["latency_p95"] == r["latency_p95"]
+    assert on["clients"]["breaker_trips"] == 0

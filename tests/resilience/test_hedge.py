@@ -1,0 +1,109 @@
+"""Hedged execution: delayed duplicate, first success wins, loser dies."""
+
+import pytest
+
+from repro.resilience import LatencyTracker, hedged
+from repro.sim import Cluster
+from repro.sim.core import Interrupt
+
+
+def build():
+    cluster = Cluster(seed=0)
+    node = cluster.add_node("n")
+    return cluster, node
+
+
+def attempt(sim, delay, value, log, fail=False):
+    def gen():
+        try:
+            yield sim.timeout(delay)
+            if fail:
+                raise RuntimeError(f"{value} failed")
+            log.append(value)
+            return value
+        except Interrupt:
+            log.append(f"{value}-cancelled")
+            raise
+    return gen
+
+
+def drive(cluster, node, gen):
+    out = []
+
+    def runner():
+        out.append((yield from gen))
+    node.spawn(runner())
+    cluster.run()
+    return out[0]
+
+
+def test_fast_primary_never_spawns_hedge():
+    cluster, node = build()
+    log = []
+    result = drive(cluster, node, hedged(
+        node, attempt(cluster.sim, 0.01, "p", log),
+        attempt(cluster.sim, 0.01, "s", log), delay=0.05))
+    assert result == ("p", False)
+    assert log == ["p"]                       # secondary never started
+
+
+def test_hedge_wins_and_primary_is_cancelled():
+    cluster, node = build()
+    log = []
+    out = []
+
+    def runner():
+        result = yield from hedged(
+            node, attempt(cluster.sim, 1.0, "p", log),
+            attempt(cluster.sim, 0.01, "s", log), delay=0.05)
+        out.append((result, cluster.sim.now))
+
+    node.spawn(runner())
+    cluster.run()
+    result, done_at = out[0]
+    assert result == ("s", True)
+    assert done_at == pytest.approx(0.06)           # delay + hedge latency
+    assert log == ["s", "p-cancelled"]
+
+
+def test_primary_failure_falls_through_to_hedge():
+    cluster, node = build()
+    log = []
+    result = drive(cluster, node, hedged(
+        node, attempt(cluster.sim, 0.2, "p", log, fail=True),
+        attempt(cluster.sim, 0.3, "s", log), delay=0.05))
+    assert result == ("s", True)
+
+
+def test_both_failures_raise_primary_error():
+    cluster, node = build()
+    caught = []
+
+    def runner():
+        try:
+            yield from hedged(
+                node, attempt(cluster.sim, 0.1, "p", [], fail=True),
+                attempt(cluster.sim, 0.1, "s", [], fail=True), delay=0.01)
+        except RuntimeError as exc:
+            caught.append(str(exc))
+    node.spawn(runner())
+    cluster.run()
+    assert caught == ["p failed"]
+
+
+def test_tracker_uses_default_until_warm():
+    tr = LatencyTracker(window=8, quantile=0.5, min_samples=4,
+                        default_delay=0.07)
+    tr.record(1.0)
+    assert tr.delay() == 0.07
+    for v in (0.1, 0.2, 0.3):
+        tr.record(v)
+    assert tr.delay() != 0.07            # warmed up: percentile of window
+
+
+def test_tracker_percentile_over_rolling_window():
+    tr = LatencyTracker(window=4, quantile=0.95, min_samples=2)
+    for v in (0.1, 0.2, 0.3, 0.4, 9.9):  # 0.1 evicted by the window
+        tr.record(v)
+    assert tr.delay() == 9.9
+    assert list(tr.samples) == [0.2, 0.3, 0.4, 9.9]
