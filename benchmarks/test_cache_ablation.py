@@ -10,7 +10,8 @@ Claims asserted here (the cache PR's acceptance bar):
 
 The run also refreshes ``BENCH_mdcache.json`` next to this file when the
 ``REPRO_WRITE_BENCH_JSON`` environment variable is set; the committed
-copy is the CI regression baseline (``scripts/check_bench_regression.py``).
+copy is the CI regression baseline (``scripts/check_regression.py
+--suite mdcache``).
 """
 
 import json

@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""CI gate: rerun one benchmark suite and compare against its committed
+baseline JSON.
+
+One parameterized checker for every bench job (this replaced the three
+per-suite ``check_*_regression.py`` copies)::
+
+    PYTHONPATH=src python scripts/check_regression.py --suite mdcache
+    PYTHONPATH=src python scripts/check_regression.py --suite shard
+    PYTHONPATH=src python scripts/check_regression.py --suite resilience
+    PYTHONPATH=src python scripts/check_regression.py --suite resolve
+        [--baseline PATH] [--tolerance 0.25]
+
+Each suite reruns its benchmark at the scale/seed recorded in the
+baseline, renders the human-readable table, and fails (exit 1) when the
+suite's ``check_*`` function reports regressions: any throughput more
+than the tolerance (default 25%) below baseline, or an acceptance floor
+no longer met (2x cache speedup, 1.5x shard scaling, 1.5x resilience
+goodput, 3x resolve deep-stat). Simulated throughput is deterministic
+for a given seed, so any drift is a real behavioural change in the
+model, not runner noise.
+
+Refresh a baseline after an intentional perf change with the suite's
+refresh command (printed in ``--list``), e.g.::
+
+    PYTHONPATH=src python -m repro bench --resolve \
+        --json benchmarks/BENCH_resolve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.bench import (
+    check_regression,
+    check_resilience_regression,
+    check_resolve_regression,
+    check_shard_regression,
+    render_cache_ablation,
+    render_resilience_overload,
+    render_resolve_ablation,
+    render_shard_scaling,
+    run_cache_ablation,
+    run_resilience_overload,
+    run_resolve_ablation,
+    run_shard_scaling,
+)
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+@dataclass(frozen=True)
+class Suite:
+    baseline: str                                    # default baseline file
+    run: Callable[[Dict], Dict]                      # baseline -> fresh doc
+    render: Callable[[Dict], str]
+    check: Callable[[Dict, Dict, float], List[str]]
+    refresh: str                                     # baseline-regen command
+    ok: str                                          # success summary
+
+
+def _run_shard(baseline: Dict) -> Dict:
+    counts = sorted((int(n) for n in baseline.get("shards", {})), key=int) \
+        or [1, 2, 4]
+    return run_shard_scaling(scale=baseline.get("scale", "quick"),
+                             seed=baseline.get("seed", 0),
+                             shard_counts=counts)
+
+
+def _scale_seed_runner(run):
+    return lambda baseline: run(scale=baseline.get("scale", "quick"),
+                                seed=baseline.get("seed", 0))
+
+
+SUITES: Dict[str, Suite] = {
+    "mdcache": Suite(
+        baseline="BENCH_mdcache.json",
+        run=_scale_seed_runner(run_cache_ablation),
+        render=render_cache_ablation,
+        check=check_regression,
+        refresh="python -m repro bench --json benchmarks/BENCH_mdcache.json",
+        ok="cache floors met"),
+    "shard": Suite(
+        baseline="BENCH_shard.json",
+        run=_run_shard,
+        render=render_shard_scaling,
+        check=check_shard_regression,
+        refresh="python -m repro bench --shards 1,2,4 "
+                "--json benchmarks/BENCH_shard.json",
+        ok="scaling floor met"),
+    "resilience": Suite(
+        baseline="BENCH_resilience.json",
+        run=_scale_seed_runner(run_resilience_overload),
+        render=render_resilience_overload,
+        check=check_resilience_regression,
+        refresh="python -m repro bench --resilience "
+                "--json benchmarks/BENCH_resilience.json",
+        ok="goodput floor met"),
+    "resolve": Suite(
+        baseline="BENCH_resolve.json",
+        run=_scale_seed_runner(run_resolve_ablation),
+        render=render_resolve_ablation,
+        check=check_resolve_regression,
+        refresh="python -m repro bench --resolve "
+                "--json benchmarks/BENCH_resolve.json",
+        ok="3x deep-stat floor met"),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", choices=sorted(SUITES), required=False)
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON (default: the suite's file "
+                             "under benchmarks/)")
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    parser.add_argument("--list", action="store_true",
+                        help="list suites, baselines and refresh commands")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, suite in sorted(SUITES.items()):
+            print(f"{name:<12} baseline benchmarks/{suite.baseline}\n"
+                  f"{'':<12} refresh: PYTHONPATH=src {suite.refresh}")
+        return 0
+    if args.suite is None:
+        parser.error("--suite is required (or use --list)")
+    suite = SUITES[args.suite]
+
+    baseline_path = pathlib.Path(args.baseline) if args.baseline \
+        else BENCH_DIR / suite.baseline
+    if not baseline_path.exists():
+        print(f"error: baseline {baseline_path} not found — generate it "
+              f"with 'PYTHONPATH=src {suite.refresh}'", file=sys.stderr)
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+
+    doc = suite.run(baseline)
+    print(suite.render(doc))
+
+    failures = suite.check(doc, baseline, tolerance=args.tolerance)
+    if failures:
+        print()
+        for f in failures:
+            print(f"REGRESSION: {f}", file=sys.stderr)
+        print(f"\nif intentional, refresh the baseline: "
+              f"PYTHONPATH=src {suite.refresh}", file=sys.stderr)
+        return 1
+    print(f"\nok: {suite.ok}, within {args.tolerance:.0%} of baseline "
+          f"({baseline_path.name})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

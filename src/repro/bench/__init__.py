@@ -26,6 +26,12 @@ from .resilience_bench import (
     run_resilience_overload,
     write_resilience_bench_json,
 )
+from .resolve_bench import (
+    check_resolve_regression,
+    render_resolve_ablation,
+    run_resolve_ablation,
+    write_resolve_bench_json,
+)
 from .shard_bench import (
     check_shard_regression,
     render_shard_scaling,
@@ -47,4 +53,6 @@ __all__ = [
     "write_shard_bench_json", "check_shard_regression",
     "run_resilience_overload", "render_resilience_overload",
     "write_resilience_bench_json", "check_resilience_regression",
+    "run_resolve_ablation", "render_resolve_ablation",
+    "write_resolve_bench_json", "check_resolve_regression",
 ]

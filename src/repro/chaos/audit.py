@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.mapping import physical_path
+from ..core.paths import parent_dir
 from ..core.metadata import DirPayload, FilePayload, SymlinkPayload, \
     decode_payload
 from ..zk.data import ZnodeStore
@@ -220,7 +221,7 @@ def audit_dufs(deployment, store: Optional[ZnodeStore] = None) -> AuditReport:
     for path in view:
         report.checked_znodes += 1
         data = view[path]
-        parent = path.rsplit("/", 1)[0] or "/"
+        parent = parent_dir(path)
         if parent != "/":
             pdata = view.get(parent)
             try:

@@ -11,6 +11,8 @@ Usage::
                                             # ZK servers split across shards)
     python -m repro bench --resilience      # overload campaign, resilience
                                             # off vs on at 2x saturation
+    python -m repro bench --resolve         # path-resolution ablation: thin
+                                            # client vs fat-client VFS walk
     python -m repro chaos --shards 4        # sharded metadata plane + shard:<k>
     python -m repro chaos --resilience      # deadlines+budget+breakers+hedging
     python -m repro all --scale medium
@@ -90,6 +92,11 @@ def main(argv=None) -> int:
                              "budget, breakers, hedged reads); bench: run "
                              "the overload campaign comparing resilience "
                              "off vs on at 2x the saturation load")
+    parser.add_argument("--resolve", action="store_true",
+                        help="bench: run the path-resolution ablation "
+                             "(server-side resolve/thin client vs the "
+                             "fat-client VFS walk) on the DL-training "
+                             "workload family")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write machine-readable results to PATH "
                              "(bench and trace; '-' prints trace rows as "
@@ -134,6 +141,14 @@ def main(argv=None) -> int:
                             cache=args.cache,
                             shards=shard_counts[0] if shard_counts else 1,
                             json_path=args.json))
+        elif target == "bench" and args.resolve:
+            from .bench import (render_resolve_ablation,
+                                run_resolve_ablation,
+                                write_resolve_bench_json)
+            doc = run_resolve_ablation(scale=args.scale, seed=args.seed)
+            print(render_resolve_ablation(doc))
+            if args.json:
+                print(f"[json] {write_resolve_bench_json(doc, args.json)}")
         elif target == "bench" and args.resilience:
             from .bench import (render_resilience_overload,
                                 run_resilience_overload,

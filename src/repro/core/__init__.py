@@ -17,29 +17,39 @@ POSIX namespace:
 the paper's prototype; :func:`repro.core.fs.build_dufs_deployment`
 assembles a complete simulated deployment (ZooKeeper ensemble co-located
 with client nodes + back-end filesystems + FUSE mounts).
+
+Submodules are resolved lazily (PEP 562): importing a leaf like
+:mod:`repro.core.paths` from the mds/pfs/chaos layers must not drag in
+the client/deployment modules (which import those layers back).
 """
 
-from .client import DUFSClient
-from .fid import FID_BITS, FIDGenerator, fid_hex
-from .fs import DUFSDeployment, build_dufs_deployment
-from .mapping import MappingFunction, physical_dirs, physical_path
-from .mdcache import MDCache, aggregate_counters
-from .metadata import DirPayload, FilePayload, SymlinkPayload, decode_payload
-from .rebalance import (
-    Relocation,
-    attach_backend,
-    collect_files,
-    migrate,
-    plan_relocations,
-    rebalance_after_add,
-)
+from importlib import import_module
 
-__all__ = [
-    "DUFSClient", "DUFSDeployment", "build_dufs_deployment",
-    "FID_BITS", "FIDGenerator", "fid_hex",
-    "MDCache", "aggregate_counters",
-    "MappingFunction", "physical_dirs", "physical_path",
-    "DirPayload", "FilePayload", "SymlinkPayload", "decode_payload",
-    "Relocation", "attach_backend", "collect_files", "migrate",
-    "plan_relocations", "rebalance_after_add",
-]
+_EXPORTS = {
+    "DUFSClient": ".client",
+    "FID_BITS": ".fid", "FIDGenerator": ".fid", "fid_hex": ".fid",
+    "DUFSDeployment": ".fs", "build_dufs_deployment": ".fs",
+    "MappingFunction": ".mapping", "physical_dirs": ".mapping",
+    "physical_path": ".mapping",
+    "MDCache": ".mdcache", "aggregate_counters": ".mdcache",
+    "DirPayload": ".metadata", "FilePayload": ".metadata",
+    "SymlinkPayload": ".metadata", "decode_payload": ".metadata",
+    "Relocation": ".rebalance", "attach_backend": ".rebalance",
+    "collect_files": ".rebalance", "migrate": ".rebalance",
+    "plan_relocations": ".rebalance", "rebalance_after_add": ".rebalance",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(module, __name__), name)
+    globals()[name] = value        # cache: resolve each name once
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -32,7 +32,7 @@ from ..errors import (
     ENOTEMPTY,
     FSError,
 )
-from ..models.params import CacheParams, DUFSParams
+from ..models.params import CacheParams, DUFSParams, ResolveParams
 from ..pfs.base import (
     DEFAULT_DIR_MODE,
     S_IFDIR,
@@ -62,6 +62,7 @@ from .metadata import (
     SymlinkPayload,
     decode_payload,
 )
+from .paths import ancestors, parent_dir
 
 
 def _map_zk_error(exc: ZKError, path: str) -> FSError:
@@ -91,6 +92,7 @@ class DUFSClient:
         cache: Optional[CacheParams] = None,
         bus=None,
         name: Optional[str] = None,
+        resolve: Optional[ResolveParams] = None,
     ):
         if not backends:
             raise ValueError("DUFS needs at least one back-end mount")
@@ -120,6 +122,14 @@ class DUFSClient:
         self.degraded: set = set()
         self.stats = {"ops": 0, "zk_reads": 0, "zk_writes": 0,
                       "backend_ops": 0, "degraded_fails": 0}
+        # Path-resolution policy. ``enabled`` switches the client to *thin*
+        # mode: lookups go through the metadata plane's server-side
+        # ``resolve`` endpoint (one RPC per lookup at any depth). ``walk``
+        # emulates the legacy fat-client kernel-VFS per-component walk with
+        # a cold dcache — the baseline server-side resolution is measured
+        # against. Both default off: the historical lookup path replays
+        # byte-identical.
+        self.resolve = resolve or ResolveParams()
         # Coherent metadata cache. It also owns the virtual-directory
         # dcache (paths known to be directories — the kernel dcache the
         # real prototype gets for free from VFS), which stays active even
@@ -127,7 +137,8 @@ class DUFSClient:
         # still goes straight to ZooKeeper.
         self.mdcache = MDCache(node, self.zk, params=cache,
                                client_stats=self.stats, bus=bus,
-                               endpoint=name or "dufs-client")
+                               endpoint=name or "dufs-client",
+                               dcache_capacity=self.resolve.dcache_capacity)
 
     # -- internals ------------------------------------------------------------
     def _logic(self, *costs: float) -> Generator:
@@ -156,7 +167,16 @@ class DUFSClient:
 
     def _get_payload(self, path: str) -> Generator:
         """Znode lookup (step B of Fig. 3): payload + znode stat, served
-        from the coherent metadata cache when one is enabled."""
+        from the coherent metadata cache when one is enabled. With
+        ``ResolveParams.enabled`` the lookup rides the metadata plane's
+        server-side ``resolve`` endpoint instead (one RPC at any depth);
+        with ``ResolveParams.walk`` it first pays the legacy fat-client
+        per-component VFS walk."""
+        if self.resolve.enabled:
+            result = yield from self._resolve_payload(path)
+            return result
+        if self.resolve.walk:
+            yield from self._vfs_walk(path)
         try:
             result = yield from self.mdcache.get_payload(path)
         except NoNodeError:
@@ -165,20 +185,72 @@ class DUFSClient:
             raise _map_zk_error(exc, path) from None
         return result
 
+    def _resolve_payload(self, path: str) -> Generator:
+        """Thin-client lookup: one ``resolve`` RPC per cache miss,
+        regardless of path depth. The server reports a miss with the
+        nearest existing ancestor, so the POSIX classification (ENOENT
+        under a directory, ENOTDIR under anything else) costs no extra
+        round trips."""
+        try:
+            status = yield from self.mdcache.resolve_payload(path)
+        except ZKError as exc:
+            raise _map_zk_error(exc, path) from None
+        if status[0] == "ok":
+            return status[1], status[2]
+        _, ancestor, anc_payload = status
+        if anc_payload is None or isinstance(anc_payload, DirPayload):
+            if ancestor is not None and ancestor != "/":
+                self.mdcache.note_dir(ancestor)
+            raise FSError(ENOENT, path)
+        raise FSError(ENOTDIR, path)
+
+    def _vfs_walk(self, path: str) -> Generator:
+        """Legacy fat-client resolution (``ResolveParams.walk``): emulate
+        the kernel VFS walking the path component by component, paying one
+        znode read for every proper ancestor missing from the (bounded)
+        dcache — the per-lookup cost that grows with depth and that
+        server-side resolution collapses to zero."""
+        for ancestor in ancestors(path):
+            if self.mdcache.known_dir(ancestor):
+                continue
+            if self.mdcache.known_missing(ancestor):
+                raise FSError(ENOENT, path)
+            self.stats["zk_reads"] += 1
+            try:
+                data, _ = yield from self.zk.get(ancestor)
+            except NoNodeError:
+                self.mdcache.note_missing(ancestor)
+                raise FSError(ENOENT, path) from None
+            except ZKError as exc:
+                raise _map_zk_error(exc, ancestor) from None
+            if not isinstance(decode_payload(data), DirPayload):
+                raise FSError(ENOTDIR, path)
+            self.mdcache.note_dir(ancestor)
+
     def _resolve_error(self, path: str) -> Generator:
         """POSIX path-walk error: a missing path is ENOTDIR when the
         nearest existing ancestor is not a directory, else ENOENT. (The
         kernel performs this walk before FUSE; we pay the znode reads only
-        on error paths.)"""
-        parent = path.rsplit("/", 1)[0] or "/"
+        on error paths.) Components the walk proves absent are recorded
+        as negative cache entries, so repeated failing lookups under the
+        same missing directory skip the re-probing."""
+        parent = parent_dir(path)
         while parent != "/":
             if self.mdcache.known_dir(parent):
+                return FSError(ENOENT, path)
+            if self.mdcache.known_missing(parent):
+                # Proven absent by an earlier walk; a negative is only
+                # ever recorded for a missing *directory* chain — ENOENT.
                 return FSError(ENOENT, path)
             self.stats["zk_reads"] += 1
             try:
                 data, _ = yield from self.zk.get(parent)
+            except NoNodeError:
+                self.mdcache.note_missing(parent)
+                parent = parent_dir(parent)
+                continue
             except ZKError:
-                parent = parent.rsplit("/", 1)[0] or "/"
+                parent = parent_dir(parent)
                 continue
             if isinstance(decode_payload(data), DirPayload):
                 self.mdcache.note_dir(parent)
@@ -193,7 +265,7 @@ class DUFSClient:
         call; we emulate that with a per-mount cache of known directories,
         falling back to one znode read on a cold path.
         """
-        parent = path.rsplit("/", 1)[0] or "/"
+        parent = parent_dir(path)
         if parent == "/" or self.mdcache.known_dir(parent):
             return
         payload, _ = yield from self._get_payload(parent)

@@ -16,7 +16,7 @@ from ..fuse.mount import FuseMount
 from ..fuse.ops import OperationTable
 from ..mds import ShardMap, ShardedMDS
 from ..models.params import (CacheParams, FaultToleranceParams,
-                             ResilienceParams, SimParams)
+                             ResilienceParams, ResolveParams, SimParams)
 from ..pfs.localfs import LocalFS
 from ..pfs.lustre.fs import build_lustre
 from ..pfs.pvfs.fs import build_pvfs
@@ -119,6 +119,7 @@ def build_dufs_deployment(
     shard_strategy: str = "parent-hash",
     shard_subtrees: Optional[dict] = None,
     resilience: Optional[ResilienceParams] = None,
+    resolve: Optional[ResolveParams] = None,
 ) -> DUFSDeployment:
     """Wire up a complete DUFS installation on a fresh simulated cluster.
 
@@ -165,11 +166,20 @@ def build_dufs_deployment(
     a deterministic :class:`~repro.mds.ShardMap` (``shard_strategy`` /
     ``shard_subtrees``). The default ``n_shards=1`` builds the exact
     pre-sharding deployment: same objects, names and event order.
+
+    Path resolution: ``resolve`` (default: ``params.resolve``, off)
+    switches the clients to *thin* mode — lookups go through the metadata
+    plane's server-side ``resolve`` endpoint, one RPC per lookup at any
+    path depth (:class:`~repro.models.params.ResolveParams`;
+    ``ResolveParams.resolve_on()`` is the preset). ``walk`` instead
+    emulates the legacy fat-client per-component VFS walk the thin mode
+    is benchmarked against. Off keeps runs byte-identical.
     """
     params = params or SimParams()
     fault = fault or params.fault
     cache = cache or params.cache
     resilience = resilience or params.resilience
+    resolve = resolve or params.resolve
     if n_shards < 1:
         raise ValueError("n_shards must be >= 1")
     if bus is None and trace:
@@ -245,7 +255,7 @@ def build_dufs_deployment(
                              resilience=resilience))
             zkc = shard_clients[0]
             service = ShardedMDS(shard_clients, shard_map=shard_map,
-                                 name=f"mds{i}")
+                                 name=f"mds{i}", bus=bus)
             retries_of = lambda m=service: m.last_retries  # noqa: E731
         backend_clients = [
             be.client(node) if backend != "local" else be.client()
@@ -257,7 +267,8 @@ def build_dufs_deployment(
         # identical seeds produce identical FIDs and placements.
         dufs = DUFSClient(node, service, backend_clients, params=params.dufs,
                           mapping=mapping, client_id=0x5EED0000 + i,
-                          cache=cache, bus=bus, name=f"dufs{i}")
+                          cache=cache, bus=bus, name=f"dufs{i}",
+                          resolve=resolve)
         if bus is not None:
             instrument_client(dufs, TRACED_CLIENT_OPS, bus,
                               deployment="dufs", endpoint=f"dufs{i}",

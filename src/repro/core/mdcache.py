@@ -49,6 +49,7 @@ from ..svc import NULL_BUS, TraceBus
 from ..zk.errors import NoNodeError
 from ..zk.protocol import WatchEvent
 from .metadata import DirPayload, decode_payload
+from .paths import ancestors, is_ancestor, parent_dir
 
 
 @dataclass
@@ -81,6 +82,7 @@ class MDCache:
         client_stats: Optional[Dict[str, int]] = None,
         bus: Optional[TraceBus] = None,
         endpoint: str = "mdcache",
+        dcache_capacity: int = 0,
     ):
         self.node = node
         self.sim = node.sim
@@ -104,7 +106,11 @@ class MDCache:
         # The virtual-directory dcache (paths known to be directories) —
         # always active, cache enabled or not: it emulates the kernel
         # dcache parent-type checks the real FUSE prototype gets for free.
-        self._dirs: set = set()
+        # ``dcache_capacity > 0`` bounds it LRU-style (the walk-mode bench
+        # uses a small bound to model a cold kernel dcache); 0 keeps the
+        # historical unbounded behaviour.
+        self.dcache_capacity = dcache_capacity
+        self._dirs: "OrderedDict[str, None]" = OrderedDict()
 
         if self.params.enabled:
             zk.watch_loss_listeners.append(self._on_watch_loss)
@@ -124,6 +130,8 @@ class MDCache:
     # -- virtual-directory dcache (always on) -------------------------------
     def known_dir(self, path: str) -> bool:
         if path in self._dirs:
+            if self.dcache_capacity > 0:
+                self._dirs.move_to_end(path)
             return True
         if not self.params.enabled:
             return False
@@ -132,7 +140,11 @@ class MDCache:
             and (ent.expires is None or self.sim.now < ent.expires)
 
     def note_dir(self, path: str) -> None:
-        self._dirs.add(path)
+        self._dirs[path] = None
+        if self.dcache_capacity > 0:
+            self._dirs.move_to_end(path)
+            while len(self._dirs) > self.dcache_capacity:
+                self._dirs.popitem(last=False)
 
     # -- lookups -------------------------------------------------------------
     def get_payload(self, path: str) -> Generator:
@@ -199,7 +211,139 @@ class MDCache:
             self.counters["evictions"] += 1
         return names
 
+    def resolve_payload(self, path: str) -> Generator:
+        """Thin-client lookup via the server-side ``resolve`` endpoint:
+        one RPC regardless of depth. Returns either
+
+        - ``("ok", payload, zstat)`` — the path exists, or
+        - ``("miss", ancestor, ancestor_payload)`` — it doesn't;
+          ``ancestor`` is the nearest existing ancestor (``None`` when
+          served from a negative entry, which is only ever recorded for
+          ENOENT-classified misses) and ``ancestor_payload`` its decoded
+          payload (``None`` for the root).
+
+        Cache behaviour mirrors :meth:`get_payload`: positive entries,
+        TTL-bounded negatives (including the missing *intermediate*
+        components reported by the server), and read coalescing through
+        the same ``_inflight`` table — a client uses one lookup mode, so
+        the waiter payload shapes never mix.
+        """
+        p = self.params
+        if not p.enabled:
+            result = yield from self._resolve_fetch(path,
+                                                    register_watch=False)
+            return result
+        now = self.sim.now
+        ent = self._entries.get(path)
+        if ent is not None:
+            if ent.expires is None or now < ent.expires:
+                self._entries.move_to_end(path)
+                self._mark("hits")
+                if p.hit_cpu:
+                    yield from self.node.cpu_work(p.hit_cpu)
+                return ("ok", ent.payload, ent.zstat)
+            self._entries.pop(path, None)       # TTL expired
+        neg_exp = self._negatives.get(path)
+        if neg_exp is not None:
+            if now < neg_exp:
+                self._mark("neg_hits")
+                if p.hit_cpu:
+                    yield from self.node.cpu_work(p.hit_cpu)
+                return ("miss", None, None)
+            self._negatives.pop(path, None)
+        result = yield from self._coalesced_resolve(path)
+        return result
+
+    # -- negative-chain helpers (parent-walk classification) -----------------
+    def known_missing(self, path: str) -> bool:
+        """Un-expired negative entry for ``path``? Lets the client's
+        parent-walk error classification skip re-probing components it
+        already proved absent."""
+        if not self.params.enabled:
+            return False
+        neg_exp = self._negatives.get(path)
+        if neg_exp is None:
+            return False
+        if self.sim.now < neg_exp:
+            return True
+        self._negatives.pop(path, None)
+        return False
+
+    def note_missing(self, path: str) -> None:
+        """Record ``path`` as absent (TTL-bounded, same policy gate as the
+        fetch-side negatives)."""
+        if not self.params.enabled or self.params.negative_ttl <= 0:
+            return
+        self._negatives[path] = self.sim.now + self.params.negative_ttl
+        self._negatives.move_to_end(path)
+        while len(self._negatives) > self.params.negative_capacity:
+            self._negatives.popitem(last=False)
+            self.counters["evictions"] += 1
+
     # -- fetch path ----------------------------------------------------------
+    def _coalesced_resolve(self, path: str) -> Generator:
+        p = self.params
+        waiter = self._inflight.get(path)
+        if waiter is not None and p.coalesce:
+            self._mark("coalesced")
+            result = yield waiter       # ("ok"|"miss", ...) status tuple
+            return result
+        ev = self.sim.event() if p.coalesce else None
+        if ev is not None:
+            self._inflight[path] = ev
+        self._mark("misses")
+        try:
+            result = yield from self._resolve_fetch(path,
+                                                    register_watch=True)
+        except BaseException as exc:
+            if ev is not None:
+                if self._inflight.get(path) is ev:
+                    del self._inflight[path]
+                ev.fail(exc)
+                ev._used = True         # pre-handled: waiters are optional
+            raise
+        if ev is not None and self._inflight.get(path) is ev:
+            del self._inflight[path]
+        if ev is not None:
+            ev.succeed(result)
+        if result[0] == "ok":
+            self._store(path, result[1], result[2])
+        else:
+            _, anc, anc_payload = result
+            if anc_payload is None or isinstance(anc_payload, DirPayload):
+                # ENOENT-classified miss: the target and every missing
+                # intermediate between the nearest existing ancestor and
+                # the target are provably absent — negative-cache the
+                # whole chain (satellite of the parent-walk classifier).
+                for missing in self._missing_chain(anc or "/", path):
+                    self.note_missing(missing)
+        return result
+
+    @staticmethod
+    def _missing_chain(ancestor: str, path: str) -> List[str]:
+        """The proper prefixes of ``path`` below ``ancestor``, plus
+        ``path`` itself — exactly the components a resolve miss proves
+        absent."""
+        chain = [a for a in ancestors(path)
+                 if ancestor == "/" or is_ancestor(ancestor, a)]
+        chain.append(path)
+        return chain
+
+    def _resolve_fetch(self, path: str, register_watch: bool) -> Generator:
+        """One real resolve RPC (charged to the client's ``zk_reads``)."""
+        self.client_stats["zk_reads"] = \
+            self.client_stats.get("zk_reads", 0) + 1
+        watch = self._on_watch if register_watch \
+            and path not in self._watched else None
+        res = yield from self.zk.resolve(path, watch=watch)
+        if res.status == "ok":
+            if watch is not None:
+                self._watched.add(path)
+            return ("ok", decode_payload(res.data), res.stat)
+        anc_payload = decode_payload(res.ancestor_data) \
+            if res.ancestor != "/" else None
+        return ("miss", res.ancestor, anc_payload)
+
     def _coalesced_fetch(self, path: str) -> Generator:
         p = self.params
         waiter = self._inflight.get(path)
@@ -251,7 +395,7 @@ class MDCache:
         self._entries[path] = _Entry(payload, zstat, expires)
         self._entries.move_to_end(path)
         if isinstance(payload, DirPayload):
-            self._dirs.add(path)
+            self.note_dir(path)
         while len(self._entries) > p.capacity:
             self._entries.popitem(last=False)
             self.counters["evictions"] += 1
@@ -268,12 +412,11 @@ class MDCache:
         """Read-your-writes after a successful create/mkdir/symlink: the
         path is no longer a negative and the parent's listing grew."""
         if is_dir:
-            self._dirs.add(path)
+            self.note_dir(path)
         if not self.params.enabled:
             return
         self._negatives.pop(path, None)
-        parent = path.rsplit("/", 1)[0] or "/"
-        self._listings.pop(parent, None)
+        self._listings.pop(parent_dir(path), None)
 
     def note_removed(self, path: str) -> None:
         """After unlink/rmdir: kill the path (and, for a directory, any
@@ -282,12 +425,11 @@ class MDCache:
                                   and path in self._entries):
             self.invalidate_subtree(path)
         else:
-            self._dirs.discard(path)
+            self._dirs.pop(path, None)
             if self.params.enabled:
                 self._invalidate_path(path)
         if self.params.enabled:
-            parent = path.rsplit("/", 1)[0] or "/"
-            self._listings.pop(parent, None)
+            self._listings.pop(parent_dir(path), None)
 
     def note_changed(self, path: str) -> None:
         """After set_data/chmod through this client: entry is stale."""
@@ -304,7 +446,7 @@ class MDCache:
             return path == root or path.startswith(prefix)
 
         for path in [d for d in self._dirs if doomed(d)]:
-            self._dirs.discard(path)
+            self._dirs.pop(path, None)
         if not self.params.enabled:
             return
         hit = False
@@ -324,7 +466,7 @@ class MDCache:
         dropped |= self._listings.pop(event.path, None) is not None
         dropped |= self._negatives.pop(event.path, None) is not None
         if event.kind == "deleted":
-            self._dirs.discard(event.path)
+            self._dirs.pop(event.path, None)
         if dropped:
             self._mark("watch_invalidations")
 
@@ -365,7 +507,7 @@ class MDCache:
                      if home(p) == shard or listing(p) == shard]:
             self._watched.discard(path)
         for path in [p for p in self._dirs if home(p) == shard]:
-            self._dirs.discard(path)
+            self._dirs.pop(path, None)
         if dropped:
             self._mark("flushes")
 

@@ -72,6 +72,14 @@ class MetadataService:
     def get_children(self, path: str, watch=None) -> Generator:
         raise NotImplementedError
 
+    def resolve(self, path: str, watch=None) -> Generator:
+        """Server-side whole-path lookup: returns a
+        :class:`~repro.zk.protocol.ResolveResult` (never raises NoNode —
+        a missing path comes back as ``status == "miss"`` with the nearest
+        existing ancestor). One hop on a single ensemble; bounded hops on
+        a sharded service."""
+        raise NotImplementedError
+
     # -- writes ------------------------------------------------------------
     def create(self, path: str, data: bytes = b"", ephemeral: bool = False,
                sequential: bool = False) -> Generator:

@@ -48,6 +48,7 @@ import itertools
 import json
 from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
+from ..svc import NULL_BUS, TraceBus
 from ..zk.client import ZKClient
 from ..zk.errors import (
     NodeExistsError,
@@ -55,7 +56,7 @@ from ..zk.errors import (
     NotEmptyError,
     ZKError,
 )
-from ..zk.protocol import WriteRequest
+from ..zk.protocol import ResolveResult, WriteRequest
 from .base import MetadataService
 from .shardmap import ShardMap, parent_dir
 
@@ -135,6 +136,7 @@ class ShardedMDS(MetadataService):
         shard_map: Optional[ShardMap] = None,
         is_dir_payload: Callable[[bytes], bool] = default_is_dir,
         name: Optional[str] = None,
+        bus: Optional[TraceBus] = None,
     ):
         super().__init__()
         if not clients:
@@ -146,11 +148,13 @@ class ShardedMDS(MetadataService):
             raise ValueError("shard map size != number of shard clients")
         self.is_dir_payload = is_dir_payload
         self.name = name or f"mds{next(_mds_seq)}"
+        self.bus = bus if bus is not None else NULL_BUS
         self._last_retries = 0
         self._intent_seq = 0
         self._intent_root_ready: set = set()
         self.stats = {"cross_shard_ops": 0, "intents_written": 0,
-                      "intents_retired": 0, "anchors_created": 0}
+                      "intents_retired": 0, "anchors_created": 0,
+                      "resolves": 0, "resolve_hops": 0}
         for k, zkc in enumerate(self.clients):
             zkc.shard = k
             zkc.watch_loss_listeners.append(
@@ -231,6 +235,44 @@ class ShardedMDS(MetadataService):
         if path == "/":
             names = [n for n in names if n != INTENT_NAME]
         return names
+
+    def resolve(self, path: str, watch=None) -> Generator:
+        """Server-side whole-path lookup, bounded at **two hops**.
+
+        Hop 1 goes to the *home shard* of ``path`` — the shard that
+        child-hosts its parent directory, so by construction it holds the
+        target's entry AND (real or placeholder) anchors for the whole
+        ancestor chain. An existing path therefore always resolves
+        ``"ok"`` in one hop; a subtree-pinned path is additionally
+        guaranteed shard-local. On a ``"miss"`` whose parent's home copy
+        lives on another shard, one second hop resolves the parent at its
+        authoritative shard so the miss classification (ENOENT vs
+        ENOTDIR) matches the namespace's ground truth — the nearest
+        ancestor reported for a chain broken *above* the parent is the
+        bounded-hop approximation noted in MODEL.md.
+        """
+        self._last_retries = 0
+        self.stats["resolves"] += 1
+        self.stats["resolve_hops"] += 1
+        home = self.map.home_shard(path)
+        res = yield from self._call(home, "resolve", path, watch=watch)
+        if res.status == "ok" or path == "/":
+            return res
+        parent = parent_dir(path)
+        parent_home = self.map.home_shard(parent)
+        if parent == "/" or parent_home == home:
+            # The home shard is authoritative for the parent too (or the
+            # parent is the root): the hop-1 answer stands.
+            return res
+        self.stats["resolve_hops"] += 1
+        self.bus.mark("mds", self.name, "resolve_hop2",
+                      self.clients[0].sim.now)
+        pres = yield from self._call(parent_home, "resolve", parent)
+        if pres.status == "ok":
+            return ResolveResult("miss", path, ancestor=parent,
+                                 ancestor_data=pres.data)
+        return ResolveResult("miss", path, ancestor=pres.ancestor,
+                             ancestor_data=pres.ancestor_data)
 
     # -- writes ------------------------------------------------------------
     def create(self, path: str, data: bytes = b"", ephemeral: bool = False,

@@ -26,13 +26,12 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..core.paths import parent_dir
 from ..hashing.md5 import md5_int
 
+__all__ = ["STRATEGIES", "ShardMap", "parent_dir"]
+
 STRATEGIES = ("parent-hash", "subtree")
-
-
-def parent_dir(path: str) -> str:
-    return path.rsplit("/", 1)[0] or "/"
 
 
 class ShardMap:

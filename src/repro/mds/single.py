@@ -46,6 +46,10 @@ class SingleEnsembleMDS(MetadataService):
         result = yield from self.zk.get_children(path, watch=watch)
         return result
 
+    def resolve(self, path: str, watch=None) -> Generator:
+        result = yield from self.zk.resolve(path, watch=watch)
+        return result
+
     # -- writes ------------------------------------------------------------
     def create(self, path: str, data: bytes = b"", ephemeral: bool = False,
                sequential: bool = False) -> Generator:

@@ -110,6 +110,15 @@ class ZKParams:
     """
 
     read_cpu: float = 380e-6           # serve get/exists/get_children locally
+    # Server-side full-path resolution (the FalconFS lever): one ``resolve``
+    # RPC walks the whole ancestor chain on the server. The walk pays
+    # ``resolve_component_cpu`` per component missing from the server's
+    # dentry cache (bounded to ``dentry_cache_capacity`` resolved prefixes,
+    # 0 = unbounded) on top of the endpoint's base read cost. Deployments
+    # that never issue a resolve (the default client policy) schedule
+    # exactly the same events as before these fields existed.
+    resolve_component_cpu: float = 85e-6
+    dentry_cache_capacity: int = 65536
     write_leader_cpu: float = 470e-6   # validate + zxid + self-log (CPU part)
     write_per_follower_cpu: float = 105e-6  # marshal PROPOSE + absorb ACK
     # set/delete pay extra base work (version check, watch sweep, parent
@@ -318,6 +327,42 @@ class CacheParams:
 
 
 @dataclass
+class ResolveParams:
+    """Path-resolution policy for the DUFS client (:mod:`repro.core`).
+
+    The paper's prototype is a *fat client*: the kernel VFS walks the path
+    component-by-component against the mount's dcache, and DUFS itself
+    re-reads znodes per level on error/parent checks. This policy selects
+    where resolution happens:
+
+    - **default (everything off)** — the pre-resolve client, byte-identical
+      replay: lookups are one ``get`` against the full path, parent checks
+      use the client dcache with a single fallback read.
+    - ``walk`` — emulate the kernel-VFS *cold-dcache* walk explicitly: every
+      lookup first resolves each ancestor not in the client dcache with one
+      znode read (O(depth) RPCs), the cost FalconFS attributes to fat
+      clients on deep trees. ``dcache_capacity`` bounds the client dcache
+      (0 = unbounded, today's behaviour) so big namespaces actually churn.
+    - ``enabled`` — the *thin client*: stat/lookup/parent-prereqs route
+      through the server-side ``resolve`` endpoint — one RPC per lookup
+      regardless of depth, answered from the server dentry cache, hedged
+      and breaker-guarded like any idempotent read. Takes precedence over
+      ``walk``.
+    """
+
+    enabled: bool = False              # server-side resolution (thin client)
+    walk: bool = False                 # explicit client-side VFS walk
+    dcache_capacity: int = 0           # client dcache bound; 0 = unbounded
+
+    @classmethod
+    def resolve_on(cls, **overrides) -> "ResolveParams":
+        """The standard thin-client policy used by benchmarks."""
+        base = dict(enabled=True)
+        base.update(overrides)
+        return cls(**base)
+
+
+@dataclass
 class SimParams:
     """Bundle of every model, plus testbed-level knobs."""
 
@@ -329,6 +374,7 @@ class SimParams:
     fault: FaultToleranceParams = field(default_factory=FaultToleranceParams)
     cache: CacheParams = field(default_factory=CacheParams)
     resilience: ResilienceParams = field(default_factory=ResilienceParams)
+    resolve: ResolveParams = field(default_factory=ResolveParams)
 
     node_cores: int = 8                # dual Xeon E5335
     client_op_cpu: float = 18e-6       # mdtest/app-side cost per op

@@ -13,6 +13,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Generator, Set
 
+from ...core.paths import parent_dir
 from ...errors import EIO, ENOENT, FSError
 from ...models.params import LustreParams
 from ...resilience import BreakerBoard, RetryBudget, RetryPolicy
@@ -58,7 +59,7 @@ class LustreClient:
         self.stats["revocations"] += 1
         self.locked_dirs.discard(resource)
         for path in list(self.dentries):
-            if path != "/" and (path.rsplit("/", 1)[0] or "/") == resource:
+            if path != "/" and parent_dir(path) == resource:
                 del self.dentries[path]
         # Cancel immediately (we model no in-flight pinning).
         self.agent.cast(src, "lock_cancel", token, size=64)
@@ -87,12 +88,10 @@ class LustreClient:
             self._note_lock(parent)
 
     def _covered(self, dirpath: str) -> bool:
-        parent = dirpath.rsplit("/", 1)[0] or "/"
-        return dirpath == "/" or parent in self.locked_dirs
+        return dirpath == "/" or parent_dir(dirpath) in self.locked_dirs
 
     def _parent_of(self, path: str) -> str:
-        path = normalize_path(path)
-        return path.rsplit("/", 1)[0] or "/"
+        return parent_dir(normalize_path(path))
 
     def on_mds_failover(self, new_endpoint: str) -> None:
         """The filesystem failed over: all cached dentries and locks are

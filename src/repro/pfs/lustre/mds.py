@@ -21,6 +21,7 @@ import math
 from typing import Generator, List, Optional, Tuple
 
 from ...errors import ENOENT, FSError
+from ...core.paths import parent_dir
 from ...models.params import LustreParams
 from ...sim.core import AllOf
 from ...sim.node import Node
@@ -139,8 +140,7 @@ class MetadataServer:
 
     @staticmethod
     def _dir_of(path: str) -> str:
-        parent = path.rsplit("/", 1)[0]
-        return parent or "/"
+        return parent_dir(path)
 
     # -- read ops -----------------------------------------------------------
     def _h_lookup(self, src: str, args: Tuple[str]) -> Generator:

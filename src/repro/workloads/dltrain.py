@@ -1,0 +1,94 @@
+"""Deep-learning training metadata workload family.
+
+DL training is the modern metadata-heavy consumer of parallel
+filesystems (the FalconFS motivation): datasets sharded into a few huge
+flat directories, every epoch re-reading the whole sample set in a
+randomized order, and experiment/checkpoint state living in deeply
+nested per-run trees. Each pattern stresses a different part of the
+lookup path:
+
+- **flat shard dirs** — millions-of-files-per-directory scaled down:
+  lookup cost is dominated by the *leaf* read, so client- and
+  server-side resolution tie;
+- **randomized epoch re-reads** — every epoch walks the full sample set
+  in a fresh shuffled order (deterministic per worker via the cluster's
+  named random streams), defeating any sequential-locality tricks;
+- **deep nested trees** — checkpoint files at path depth
+  :attr:`DLTrainSpec.depth`: the per-component walk cost that grows
+  with depth and that server-side ``resolve`` collapses to one RPC.
+
+The spec only *generates paths*; driving them through a deployment is
+the benchmark's job (:mod:`repro.bench.resolve_bench`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class DLTrainSpec:
+    """Shape of one simulated training job's namespace.
+
+    ``depth`` is the total component count of a deep checkpoint file
+    (``/dl`` is 1): ``/dl/t3/l0/.../ckpt``. Must be >= 3 so every chain
+    has at least one intermediate level.
+    """
+
+    n_shard_dirs: int = 8       # flat dataset shard directories
+    samples_per_dir: int = 64   # sample files per shard directory
+    n_chains: int = 16          # independent deep checkpoint chains
+    depth: int = 8              # path depth of each chain's leaf file
+    epochs: int = 3             # full passes over the sample set
+    root: str = "/dl"
+
+    def __post_init__(self):
+        if self.depth < 3:
+            raise ValueError("DLTrainSpec.depth must be >= 3")
+
+    # -- flat dataset shards ------------------------------------------------
+    def shard_dirs(self) -> List[str]:
+        return [f"{self.root}/s{i}" for i in range(self.n_shard_dirs)]
+
+    def sample_files(self) -> List[str]:
+        return [f"{d}/sample{j}" for d in self.shard_dirs()
+                for j in range(self.samples_per_dir)]
+
+    # -- deep checkpoint chains ---------------------------------------------
+    def chain_dirs(self, chain: int) -> List[str]:
+        """Directories of one chain, creation order: ``t{c}``, then the
+        ``depth - 3`` nested levels below it."""
+        out = [f"{self.root}/t{chain}"]
+        for lvl in range(self.depth - 3):
+            out.append(f"{out[-1]}/l{lvl}")
+        return out
+
+    def chain_file(self, chain: int) -> str:
+        """The chain's leaf checkpoint file, at exactly ``depth``."""
+        return f"{self.chain_dirs(chain)[-1]}/ckpt"
+
+    def chain_files(self) -> List[str]:
+        return [self.chain_file(c) for c in range(self.n_chains)]
+
+    # -- whole-job views -----------------------------------------------------
+    def all_dirs(self) -> List[str]:
+        """Every directory, parents before children (mkdir order)."""
+        out = [self.root] + self.shard_dirs()
+        for c in range(self.n_chains):
+            out.extend(self.chain_dirs(c))
+        return out
+
+    def all_files(self) -> List[str]:
+        return self.sample_files() + self.chain_files()
+
+
+def epoch_order(spec: DLTrainSpec, rng: random.Random) -> List[str]:
+    """One epoch's randomized sample visit order. Consecutive calls on
+    the same ``rng`` yield the per-epoch reshuffle; identically-seeded
+    streams (``cluster.streams.stream(name)``) reproduce the exact same
+    sequence, so paired benchmark arms compare identical access orders."""
+    files = spec.sample_files()
+    rng.shuffle(files)
+    return files

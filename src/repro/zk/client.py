@@ -144,7 +144,8 @@ class ZKClient:
         rng = self.node.cluster.streams.stream(self._backoff_stream)
         return min(f.backoff_cap, rng.uniform(f.backoff_base, 3.0 * prev))
 
-    def _request(self, method: str, args: Any, size: int = 160) -> Generator:
+    def _request(self, method: str, args: Any, size: int = 160,
+                 trace_as: Optional[str] = None) -> Generator:
         f = self.fault
         r = self.resilience
         t0 = self.sim.now
@@ -217,7 +218,8 @@ class ZKClient:
             # Published last so nested connect() calls cannot clobber it;
             # callers use it to disambiguate retried non-idempotent writes.
             self.last_retries = state.attempt + reconnects
-            self.bus.record(OpTrace("zk", self.agent.endpoint, method, t0, t0,
+            self.bus.record(OpTrace("zk", self.agent.endpoint,
+                                    trace_as or method, t0, t0,
                                     self.sim.now, ok,
                                     retries=self.last_retries,
                                     shard=self.shard))
@@ -331,6 +333,22 @@ class ZKClient:
         if flag:
             self._register_watch(path, watch)
         return result
+
+    def resolve(self, path: str, watch=None) -> Generator:
+        """Server-side whole-path lookup: one RPC regardless of depth.
+
+        Returns a :class:`~repro.zk.protocol.ResolveResult` — never raises
+        ``NoNodeError``; a missing path comes back as ``status == "miss"``
+        with the nearest existing ancestor. Travels on the ``read`` wire
+        method, so hedging, breakers and deadlines apply unchanged; a data
+        watch is registered only when the target exists (``"ok"``)."""
+        flag = self._watch_flag(watch)
+        res = yield from self._request(
+            "read", ReadRequest("resolve", path, watch=flag),
+            size=120 + len(path), trace_as="resolve")
+        if flag and res.status == "ok":
+            self._register_watch(path, watch)
+        return res
 
     def get_children(self, path: str, watch=None) -> Generator:
         flag = self._watch_flag(watch)

@@ -17,12 +17,38 @@ from typing import Optional, Tuple
 
 @dataclass(frozen=True)
 class ReadRequest:
-    """exists / get_data / get_children, served locally by any server."""
+    """exists / get_data / get_children / resolve, served locally by any
+    server. ``resolve`` travels on the same RPC method as the other reads,
+    so hedging, breakers and deadline propagation apply unchanged."""
 
-    op: str                    # "exists" | "get" | "children"
+    op: str                    # "exists" | "get" | "children" | "resolve"
     path: str
     session: int = 0
     watch: bool = False
+
+
+@dataclass(frozen=True)
+class ResolveResult:
+    """Reply to a ``resolve`` read: whole-path lookup resolved server-side.
+
+    ``status == "ok"``: the path exists — ``data``/``stat`` are its znode
+    record, exactly what a ``get`` would have returned.
+
+    ``status == "miss"``: the path does not exist on this server;
+    ``ancestor`` is the nearest *existing* ancestor found during the walk
+    (``"/"`` when nothing below the root exists) and ``ancestor_data`` its
+    znode data (``b""`` for the root). The server never interprets
+    payloads — the client classifies the miss (ENOENT when the ancestor is
+    a directory, ENOTDIR otherwise) and may negative-cache the missing
+    intermediate components between ``ancestor`` and the target.
+    """
+
+    status: str                # "ok" | "miss"
+    path: str
+    data: bytes = b""
+    stat: Optional[object] = None
+    ancestor: str = "/"
+    ancestor_data: bytes = b""
 
 
 @dataclass(frozen=True)

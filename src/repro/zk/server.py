@@ -19,10 +19,11 @@ and no failure detection, matching the paper's healthy-cluster runs.
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Set, Tuple
 
+from ..core.paths import ancestors
 from ..models.params import ZKParams
 from ..sim.core import Event, Interrupt
 from ..sim.node import Node
@@ -45,6 +46,7 @@ from .protocol import (
     Propose,
     ProposeBatch,
     ReadRequest,
+    ResolveResult,
     SyncResponse,
     Vote,
     WatchEvent,
@@ -122,6 +124,13 @@ class ZKServer:
         self._syncing = False                     # buffering proposals
         self._presync: List[Propose] = []
 
+        # server-side dentry cache (volatile): paths whose *existence* was
+        # verified during a ``resolve`` walk. Entries carry no data — znode
+        # payloads are always read from the committed tree — so a cached
+        # entry only ever goes stale through deletion, which the applier
+        # invalidates txn-by-txn. LRU-bounded by ``dentry_cache_capacity``.
+        self._dentries: "OrderedDict[str, None]" = OrderedDict()
+
         # sessions / watches
         self._session_counter = 0
         self.sessions: Dict[int, str] = {}        # session id -> client endpoint
@@ -144,7 +153,8 @@ class ZKServer:
 
         # counters for tests / benchmarks ("ops" is kept by the kernel)
         self.stats = {"reads": 0, "writes": 0, "proposals": 0, "commits": 0,
-                      "forwards": 0, "elections": 0, "gap_resyncs": 0}
+                      "forwards": 0, "elections": 0, "gap_resyncs": 0,
+                      "resolves": 0, "dentry_hits": 0, "dentry_misses": 0}
 
         from ..svc.queue import make_policy
         self.svc = Service(node, self.endpoint, deployment="zk", bus=bus,
@@ -322,7 +332,70 @@ class ZKServer:
                 self.child_watches.setdefault(req.path, set()).add(src)
             size = p.resp_base_size + sum(len(n) + 4 for n in names)
             return Reply(names, size=size)
+        if req.op == "resolve":
+            reply = yield from self._h_resolve(src, req)
+            return reply
         raise ZKError(req.path, f"unknown read op {req.op!r}")
+
+    def _h_resolve(self, src: str, req: ReadRequest) -> Generator:
+        """Whole-path lookup in one RPC: walk the ancestor chain against
+        the server-side dentry cache, charging ``resolve_component_cpu``
+        only for components not already verified, then read the target
+        znode. Never raises NoNodeError — a broken chain or missing target
+        comes back as a ``miss`` ResolveResult carrying the nearest
+        existing ancestor, so the client can classify the error and
+        negative-cache the gap without extra round trips."""
+        from .errors import NoNodeError
+
+        p = self.params
+        bus = self.svc.bus
+        self.stats["resolves"] += 1
+        path = req.path
+        misses = 0
+        nearest = "/"          # nearest *existing* ancestor seen so far
+        broken = False         # an intermediate component is missing
+        for anc in ancestors(path):
+            if anc in self._dentries:
+                self._dentries.move_to_end(anc)
+                self.stats["dentry_hits"] += 1
+                bus.mark("zk", self.endpoint, "dentry_hit", self.sim.now)
+                nearest = anc
+                continue
+            self.stats["dentry_misses"] += 1
+            bus.mark("zk", self.endpoint, "dentry_miss", self.sim.now)
+            misses += 1
+            if self.store.exists(anc) is None:
+                broken = True
+                break
+            self._dentry_insert(anc)
+            nearest = anc
+        if misses:
+            yield from self.node.cpu_work(p.resolve_component_cpu * misses)
+        if not broken:
+            try:
+                data, stat = self.store.get(path)
+            except NoNodeError:
+                pass
+            else:
+                if req.watch:
+                    self.data_watches.setdefault(path, set()).add(src)
+                res = ResolveResult("ok", path, data=data, stat=stat,
+                                    ancestor=nearest)
+                return Reply(res, size=p.resp_base_size + len(data))
+        anc_data = b""
+        if nearest != "/":
+            anc_data, _ = self.store.get(nearest)
+        res = ResolveResult("miss", path, ancestor=nearest,
+                            ancestor_data=anc_data)
+        return Reply(res, size=p.resp_base_size + len(anc_data))
+
+    def _dentry_insert(self, path: str) -> None:
+        self._dentries[path] = None
+        self._dentries.move_to_end(path)
+        cap = self.params.dentry_cache_capacity
+        if cap > 0:
+            while len(self._dentries) > cap:
+                self._dentries.popitem(last=False)
 
     def _h_write(self, src: str, req: WriteRequest) -> Generator:
         if (self.params.session_tracking and req.op == "create"
@@ -712,6 +785,7 @@ class ZKServer:
                     self.store.apply(txn, zxid, self.sim.now)
                     self.commit_index = zxid
                     self.stats["commits"] += 1
+                    self._invalidate_dentries(txn)
                     self._fire_watches(txn)
                     if self.role == LEADING:
                         out = self.outstanding.pop(zxid, None)
@@ -751,6 +825,19 @@ class ZKServer:
             out.append(self.log[i])
         out.reverse()
         return out
+
+    def _invalidate_dentries(self, txn: tuple) -> None:
+        """Drop dentry entries made stale by a committed txn. Deletes are
+        validated leaf-only (a non-empty znode can't be deleted), so any
+        cached descendant was already purged by its own delete txn — the
+        exact-path pop is sufficient. Creates and sets don't change the
+        existence of any cached path."""
+        kind = txn[0]
+        if kind == "multi":
+            for sub in txn[1]:
+                self._invalidate_dentries(sub)
+        elif kind == "delete":
+            self._dentries.pop(txn[1], None)
 
     # ------------------------------------------------------------------
     # watches
@@ -922,6 +1009,7 @@ class ZKServer:
         self.active_followers.clear()
         self.active_observers.clear()
         self.sessions.clear()
+        self._dentries.clear()
         self.data_watches.clear()
         self.child_watches.clear()
         self.exist_watches.clear()

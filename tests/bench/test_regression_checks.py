@@ -1,7 +1,9 @@
 """The CI regression gates: graceful on malformed/stale baselines."""
 
-from repro.bench import check_regression, check_shard_regression
+from repro.bench import (check_regression, check_resolve_regression,
+                         check_shard_regression)
 from repro.bench.cache_bench import PHASES as CACHE_PHASES
+from repro.bench.resolve_bench import PHASES as RESOLVE_PHASES
 from repro.bench.shard_bench import CREATE_PHASE, PHASES as SHARD_PHASES
 
 
@@ -73,3 +75,38 @@ def test_shard_gate_flags_per_configuration_drop():
     failures = check_shard_regression(shard_doc(create_4=3000.0),
                                       shard_doc(create_4=4100.0))
     assert any("below baseline" in f for f in failures)
+
+
+def resolve_doc(ops=1000.0, deep_speedup=5.0):
+    phases = {n: {"ops_per_s": ops} for n in RESOLVE_PHASES}
+    speedup = {n: 1.0 for n in RESOLVE_PHASES}
+    speedup["deep_stat"] = deep_speedup
+    return {"depth": 8, "on": {"phases": phases}, "speedup": speedup}
+
+
+def test_resolve_gate_passes_against_identical_baseline():
+    assert check_resolve_regression(resolve_doc(), resolve_doc()) == []
+
+
+def test_resolve_gate_enforces_the_deep_stat_floor():
+    failures = check_resolve_regression(resolve_doc(deep_speedup=2.4),
+                                        resolve_doc())
+    assert len(failures) == 1
+    assert "deep_stat" in failures[0] and "floor" in failures[0]
+
+
+def test_resolve_gate_flags_throughput_drop():
+    failures = check_resolve_regression(resolve_doc(ops=500.0),
+                                        resolve_doc(ops=1000.0))
+    assert len(failures) == len(RESOLVE_PHASES)
+    assert all("below baseline" in f for f in failures)
+
+
+def test_resolve_gate_reports_missing_baseline_phase_not_keyerror():
+    baseline = resolve_doc()
+    del baseline["on"]["phases"]["deep_stat"]
+    failures = check_resolve_regression(resolve_doc(), baseline)
+    assert len(failures) == 1
+    assert "deep_stat" in failures[0]
+    assert "missing from baseline" in failures[0]
+    assert "regenerate" in failures[0]

@@ -1,0 +1,100 @@
+"""Server-side ``resolve``: one-RPC lookups answered from the dentry
+cache, misses reported with the nearest existing ancestor, and dentry
+invalidation on every namespace mutation."""
+
+
+def _server_stats(h, key):
+    return sum(s.stats.get(key, 0) for s in h.ensemble.servers)
+
+
+def scaffold(h, client):
+    def build():
+        yield from client.create("/a", b"A")
+        yield from client.create("/a/b", b"B")
+        yield from client.create("/a/b/c", b"C")
+    h.run(build())
+
+
+def test_resolve_ok_returns_data_and_stat(zk3):
+    c = zk3.client()
+    scaffold(zk3, c)
+    res = zk3.run(c.resolve("/a/b/c"))
+    assert res.status == "ok"
+    assert res.path == "/a/b/c"
+    assert res.data == b"C"
+    assert res.stat is not None and res.stat.version == 0
+
+
+def test_resolve_miss_reports_nearest_ancestor(zk3):
+    c = zk3.client()
+    scaffold(zk3, c)
+    res = zk3.run(c.resolve("/a/x/y/z"))
+    assert res.status == "miss"
+    assert res.ancestor == "/a"
+    assert res.ancestor_data == b"A"
+    # Nothing exists at all: the root is the nearest ancestor.
+    res = zk3.run(c.resolve("/nope/deeper"))
+    assert res.status == "miss"
+    assert res.ancestor == "/"
+
+
+def test_resolve_is_one_rpc_at_any_depth(zk1):
+    c = zk1.client()
+
+    def build():
+        path = ""
+        for comp in "abcdefgh":            # depth 8
+            path += f"/{comp}"
+            yield from c.create(path, b"D")
+    zk1.run(build())
+    before = _server_stats(zk1, "resolves")
+    res = zk1.run(c.resolve("/a/b/c/d/e/f/g/h"))
+    assert res.status == "ok"
+    # The whole depth-8 walk happened inside ONE server-side request.
+    assert _server_stats(zk1, "resolves") - before == 1
+
+
+def test_dentry_cache_warms_across_resolves(zk1):
+    c = zk1.client()
+    scaffold(zk1, c)
+    zk1.run(c.resolve("/a/b/c"))           # cold: misses /a and /a/b
+    hits0 = _server_stats(zk1, "dentry_hits")
+    misses0 = _server_stats(zk1, "dentry_misses")
+    zk1.run(c.resolve("/a/b/c"))           # warm: both ancestors hit
+    assert _server_stats(zk1, "dentry_hits") - hits0 == 2
+    assert _server_stats(zk1, "dentry_misses") == misses0
+
+
+def test_dentry_invalidated_on_delete(zk3):
+    c = zk3.client()
+    scaffold(zk3, c)
+    zk3.run(c.resolve("/a/b/c/x"))         # warms dentries /a, /a/b, /a/b/c
+
+    def remove():
+        yield from c.delete("/a/b/c")
+        yield from c.delete("/a/b")
+    zk3.run(remove())
+    zk3.settle(0.2)                        # let every replica apply
+    res = zk3.run(c.resolve("/a/b/c/x"))
+    assert res.status == "miss"
+    # A stale dentry would report /a/b or /a/b/c as still existing.
+    assert res.ancestor == "/a"
+    assert res.ancestor_data == b"A"
+
+
+def test_dentry_invalidated_on_multi_rename(zk3):
+    c = zk3.client()
+    scaffold(zk3, c)
+    zk3.run(c.resolve("/a/b/c"))           # warms /a, /a/b
+    # A client-level rename is one multi: create the new chain, delete
+    # the old one (children first).
+    zk3.run(c.multi([c.op_create("/n", b"N"),
+                     c.op_create("/n/b", b"B"),
+                     c.op_create("/n/b/c", b"C"),
+                     c.op_delete("/a/b/c"),
+                     c.op_delete("/a/b")]))
+    zk3.settle(0.2)
+    res = zk3.run(c.resolve("/a/b/c"))
+    assert res.status == "miss" and res.ancestor == "/a"
+    res = zk3.run(c.resolve("/n/b/c"))
+    assert res.status == "ok" and res.data == b"C"
