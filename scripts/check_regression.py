@@ -9,6 +9,7 @@ per-suite ``check_*_regression.py`` copies)::
     PYTHONPATH=src python scripts/check_regression.py --suite shard
     PYTHONPATH=src python scripts/check_regression.py --suite resilience
     PYTHONPATH=src python scripts/check_regression.py --suite resolve
+    PYTHONPATH=src python scripts/check_regression.py --suite kernel
         [--baseline PATH] [--tolerance 0.25]
 
 Each suite reruns its benchmark at the scale/seed recorded in the
@@ -16,9 +17,12 @@ baseline, renders the human-readable table, and fails (exit 1) when the
 suite's ``check_*`` function reports regressions: any throughput more
 than the tolerance (default 25%) below baseline, or an acceptance floor
 no longer met (2x cache speedup, 1.5x shard scaling, 1.5x resilience
-goodput, 3x resolve deep-stat). Simulated throughput is deterministic
-for a given seed, so any drift is a real behavioural change in the
-model, not runner noise.
+goodput, 3x resolve deep-stat, the kernel events/sec floor). Simulated
+throughput is deterministic for a given seed, so any drift is a real
+behavioural change in the model, not runner noise. The ``kernel`` suite
+is the exception: it measures *wall-clock* events/sec, so it normalizes
+by a machine-speed calibration loop and compares normalized numbers
+(see ``repro.bench.kernel_bench``).
 
 Refresh a baseline after an intentional perf change with the suite's
 refresh command (printed in ``--list``), e.g.::
@@ -37,15 +41,18 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from repro.bench import (
+    check_kernel_regression,
     check_regression,
     check_resilience_regression,
     check_resolve_regression,
     check_shard_regression,
     render_cache_ablation,
+    render_kernel_bench,
     render_resilience_overload,
     render_resolve_ablation,
     render_shard_scaling,
     run_cache_ablation,
+    run_kernel_bench,
     run_resilience_overload,
     run_resolve_ablation,
     run_shard_scaling,
@@ -109,6 +116,14 @@ SUITES: Dict[str, Suite] = {
         refresh="python -m repro bench --resolve "
                 "--json benchmarks/BENCH_resolve.json",
         ok="3x deep-stat floor met"),
+    "kernel": Suite(
+        baseline="BENCH_kernel.json",
+        run=_scale_seed_runner(run_kernel_bench),
+        render=render_kernel_bench,
+        check=check_kernel_regression,
+        refresh="python -m repro bench --kernel "
+                "--json benchmarks/BENCH_kernel.json",
+        ok="kernel events/sec floors met"),
 }
 
 

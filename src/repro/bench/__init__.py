@@ -7,6 +7,13 @@ from .cache_bench import (
     write_cache_bench_json,
 )
 from .export import figure_to_csv, write_figure_csv
+from .kernel_bench import (
+    check_kernel_regression,
+    render_kernel_bench,
+    run_kernel_bench,
+    write_kernel_bench_json,
+)
+from .profile_cli import profile_targets, run_profile
 from .figures import (
     FigureResult,
     run_ablations,
@@ -55,4 +62,7 @@ __all__ = [
     "write_resilience_bench_json", "check_resilience_regression",
     "run_resolve_ablation", "render_resolve_ablation",
     "write_resolve_bench_json", "check_resolve_regression",
+    "run_kernel_bench", "render_kernel_bench",
+    "write_kernel_bench_json", "check_kernel_regression",
+    "run_profile", "profile_targets",
 ]

@@ -13,6 +13,10 @@ Usage::
                                             # off vs on at 2x saturation
     python -m repro bench --resolve         # path-resolution ablation: thin
                                             # client vs fat-client VFS walk
+    python -m repro bench --kernel          # simulator events/sec bench
+                                            # (the hot-path speed gate)
+    python -m repro profile kernel          # cProfile any bench/figure and
+    python -m repro profile fig7            # print the hot-path table
     python -m repro chaos --shards 4        # sharded metadata plane + shard:<k>
     python -m repro chaos --resilience      # deadlines+budget+breakers+hedging
     python -m repro all --scale medium
@@ -58,11 +62,15 @@ def main(argv=None) -> int:
                     "(CLUSTER 2011) on the simulated cluster.")
     parser.add_argument("target",
                         choices=[*RUNNERS, "claims", "chaos", "trace",
-                                 "bench", "all"],
+                                 "bench", "profile", "all"],
                         help="which figure/table to regenerate "
                              "(or 'chaos': a fault-injection run; 'trace': "
                              "a traced mdtest with per-endpoint op metrics; "
-                             "'bench': the client-cache ablation)")
+                             "'bench': the client-cache ablation; 'profile': "
+                             "run a bench/figure under cProfile)")
+    parser.add_argument("subtarget", nargs="?", default=None,
+                        help="for 'profile': which target to profile "
+                             "(e.g. kernel, kernel:fanout, bench, fig7)")
     parser.add_argument("--scale", default="quick",
                         choices=("quick", "medium", "full"),
                         help="sweep size: quick (seconds), medium, or full "
@@ -97,6 +105,15 @@ def main(argv=None) -> int:
                              "(server-side resolve/thin client vs the "
                              "fat-client VFS walk) on the DL-training "
                              "workload family")
+    parser.add_argument("--kernel", action="store_true",
+                        help="bench: run the simulator events/sec kernel "
+                             "bench (timer churn, RPC fan-out, "
+                             "spawn/interrupt, resource cascades)")
+    parser.add_argument("--top", type=int, default=25,
+                        help="profile: how many hot-path rows to print")
+    parser.add_argument("--sort", default="tottime",
+                        choices=("tottime", "cumtime", "ncalls"),
+                        help="profile: hot-path table sort key")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write machine-readable results to PATH "
                              "(bench and trace; '-' prints trace rows as "
@@ -141,6 +158,24 @@ def main(argv=None) -> int:
                             cache=args.cache,
                             shards=shard_counts[0] if shard_counts else 1,
                             json_path=args.json))
+        elif target == "profile":
+            from .bench import profile_targets, run_profile
+            if not args.subtarget:
+                parser.error("profile needs a target, e.g. 'repro profile "
+                             f"kernel' (one of: {', '.join(profile_targets())})")
+            try:
+                print(run_profile(args.subtarget, scale=args.scale,
+                                  seed=args.seed, top=args.top,
+                                  sort=args.sort))
+            except ValueError as exc:
+                parser.error(str(exc))
+        elif target == "bench" and args.kernel:
+            from .bench import (render_kernel_bench, run_kernel_bench,
+                                write_kernel_bench_json)
+            doc = run_kernel_bench(scale=args.scale, seed=args.seed)
+            print(render_kernel_bench(doc))
+            if args.json:
+                print(f"[json] {write_kernel_bench_json(doc, args.json)}")
         elif target == "bench" and args.resolve:
             from .bench import (render_resolve_ablation,
                                 run_resolve_ablation,

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from .core import Simulator
+from .core import Event, Simulator
 from .resources import Store
 
 GIGE_LATENCY = 60e-6       # one-way small-message latency (s)
@@ -27,19 +27,58 @@ LOOPBACK_BANDWIDTH = 2e9
 #: exactly the event sequence they saw before chaos existed.
 CHAOS_STREAM = "net.chaos"
 
+#: Route-cache sentinel: the pair is unreachable (down endpoint/partition).
+_DROP = ("drop",)
 
-@dataclass(frozen=True)
+
 class Message:
-    """An envelope delivered to the destination endpoint's inbox."""
+    """An envelope delivered to the destination endpoint's inbox.
 
-    src: str
-    dst: str
-    payload: Any
-    size: int = 128
-    sent_at: float = 0.0
+    Plain ``__slots__`` class — one is allocated per transmitted message,
+    which makes it part of the simulator hot path.
+    """
+
+    __slots__ = ("src", "dst", "payload", "size", "sent_at")
+
+    def __init__(self, src: str, dst: str, payload: Any, size: int = 128,
+                 sent_at: float = 0.0):
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size = size
+        self.sent_at = sent_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Message(src={self.src!r}, dst={self.dst!r}, "
+                f"size={self.size}, sent_at={self.sent_at})")
 
 
-@dataclass
+class _Delivery(Event):
+    """Scheduled arrival of one message.
+
+    The delivery *event* carries the envelope fields itself and is put
+    into the destination inbox directly, so one transmitted message costs
+    a single allocation (no separate Message + Event + closure). It
+    duck-types :class:`Message` — consumers only ever read the envelope
+    fields (``payload``, ``src``, ...)."""
+
+    __slots__ = ("src", "dst", "payload", "size", "sent_at")
+
+    def __init__(self, sim: Simulator, src: str, dst: str, payload: Any,
+                 size: int, sent_at: float, cb):
+        self.sim = sim
+        self.callbacks = [cb]
+        self._value = None       # triggered from creation, like a Timeout
+        self._ok = True
+        self._used = False
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size = size
+        self.sent_at = sent_at
+
+
+@dataclass(slots=True)
 class NetworkStats:
     messages: int = 0
     bytes: int = 0
@@ -70,6 +109,11 @@ class LinkFault:
 class Network:
     """Message fabric connecting endpoints registered by name."""
 
+    __slots__ = ("sim", "latency", "bandwidth", "loopback_latency",
+                 "loopback_bandwidth", "streams", "stats", "_inboxes",
+                 "_hosts", "_down", "_last_delivery", "_partition",
+                 "_link_faults", "_deliver_cb", "_routes", "_hooks")
+
     def __init__(
         self,
         sim: Simulator,
@@ -93,6 +137,17 @@ class Network:
         self._partition: Optional[dict[str, int]] = None  # host -> group id
         # directed (src_host, dst_host) -> LinkFault; "*" matches any host
         self._link_faults: dict[tuple[str, str], LinkFault] = {}
+        # single bound callback shared by every _Delivery event
+        self._deliver_cb = self._deliver
+        # endpoint -> fast-path hook tried at delivery time (see
+        # set_inbox_hook); absent endpoints go straight to their inbox.
+        self._hooks: dict[str, Any] = {}
+        # (src, dst) -> (latency, 1/bandwidth, loss, duplicate), or the
+        # _DROP sentinel for unreachable pairs. The cache folds the host
+        # lookup, partition check, and link-fault resolution into one dict
+        # get on the send hot path; every topology or fault mutation
+        # (set_down, partition, heal, degrade/restore_link) clears it.
+        self._routes: dict[tuple[str, str], tuple] = {}
 
     # -- topology --------------------------------------------------------
     def register(self, endpoint: str, host: Optional[str] = None) -> Store:
@@ -100,16 +155,30 @@ class Network:
         if endpoint not in self._inboxes:
             self._inboxes[endpoint] = Store(self.sim)
             self._hosts[endpoint] = host or endpoint
+            self._routes.clear()
         return self._inboxes[endpoint]
 
     def inbox(self, endpoint: str) -> Store:
         return self._inboxes[endpoint]
+
+    def set_inbox_hook(self, endpoint: str, hook) -> None:
+        """Install ``hook(msg) -> bool`` tried at delivery time.
+
+        Returning True consumes the message without an inbox round-trip
+        (the RPC layer uses this to handle a message at the instant its
+        delivery event fires instead of paying a queue hop plus a
+        dispatcher wakeup). The hook MUST preserve inbox FIFO semantics:
+        it may only consume when the inbox is empty and a getter is
+        armed, i.e. exactly when the message would have been handed to
+        the waiting consumer next anyway."""
+        self._hooks[endpoint] = hook
 
     def host_of(self, endpoint: str) -> str:
         return self._hosts[endpoint]
 
     # -- failures --------------------------------------------------------
     def set_down(self, endpoint: str, down: bool = True) -> None:
+        self._routes.clear()
         if down:
             self._down.add(endpoint)
             self._inboxes[endpoint].items.clear()
@@ -127,9 +196,11 @@ class Network:
             for host in members:
                 mapping[host] = gid
         self._partition = mapping
+        self._routes.clear()
 
     def heal(self) -> None:
         self._partition = None
+        self._routes.clear()
 
     # -- link degradation (chaos) ----------------------------------------
     def degrade_link(self, src_host: str, dst_host: str, *,
@@ -152,13 +223,16 @@ class Network:
             duplicate=cur.duplicate if duplicate is None else duplicate,
         )
         self._link_faults[key] = fault
+        self._routes.clear()
         return fault
 
     def restore_link(self, src_host: str, dst_host: str) -> None:
         self._link_faults.pop((src_host, dst_host), None)
+        self._routes.clear()
 
     def clear_link_faults(self) -> None:
         self._link_faults.clear()
+        self._routes.clear()
 
     def _fault_for(self, src_host: str, dst_host: str) -> Optional[LinkFault]:
         if not self._link_faults or src_host == dst_host:
@@ -190,53 +264,96 @@ class Network:
             return self.loopback_latency + size / self.loopback_bandwidth
         return self.latency + size / self.bandwidth
 
-    def send(self, src: str, dst: str, payload: Any, size: int = 128) -> None:
-        """Fire-and-forget transmit; delivery is FIFO per (src, dst) pair."""
+    def _route_for(self, key: tuple, src: str, dst: str) -> tuple:
+        """Resolve, cache, and return the route tuple for one pair."""
         if dst not in self._inboxes:
             raise KeyError(f"unknown endpoint {dst!r}")
-        if not self._reachable(src, dst):
-            self.stats.dropped += 1
-            return
-        sim = self.sim
-        delay = self.delay_for(src, dst, size)
-        fault = self._fault_for(self._hosts.get(src, src),
-                                self._hosts.get(dst, dst))
-        duplicate = False
-        if fault is not None:
-            if fault.stochastic:
-                rng = self._chaos_rng()
-                if fault.loss > 0.0 and rng.random() < fault.loss:
-                    self.stats.dropped += 1
-                    return
-                duplicate = (fault.duplicate > 0.0
-                             and rng.random() < fault.duplicate)
-            delay = (self.latency * fault.latency_factor
-                     + size / (self.bandwidth * fault.bandwidth_factor))
+        hosts = self._hosts
+        hs = hosts.get(src, src)
+        hd = hosts.get(dst, dst)
+        part = self._partition
+        if src in self._down or dst in self._down:
+            route = _DROP
+        elif (part is not None and hs != hd
+                and part.get(hs, -1) != part.get(hd, -2)):
+            route = _DROP
+        elif hs == hd:
+            route = (self.loopback_latency, self.loopback_bandwidth, 0.0, 0.0)
+        else:
+            fault = self._fault_for(hs, hd)
+            if fault is None:
+                route = (self.latency, self.bandwidth, 0.0, 0.0)
+            else:
+                # Bake the factors in; delay stays `lat + size / bw`, the
+                # exact arithmetic the uncached path used (bit-identical
+                # delivery times are load-bearing for the trace pin).
+                route = (self.latency * fault.latency_factor,
+                         self.bandwidth * fault.bandwidth_factor,
+                         fault.loss, fault.duplicate)
+        self._routes[key] = route
+        return route
+
+    def send(self, src: str, dst: str, payload: Any, size: int = 128) -> None:
+        """Fire-and-forget transmit; delivery is FIFO per (src, dst) pair."""
         key = (src, dst)
-        deliver_at = max(sim.now + delay, self._last_delivery.get(key, 0.0))
+        route = self._routes.get(key)
+        if route is None:
+            route = self._route_for(key, src, dst)
+        stats = self.stats
+        if route is _DROP:
+            stats.dropped += 1
+            return
+        lat, bw, loss, dup = route
+        duplicate = False
+        if loss or dup:
+            rng = self._chaos_rng()
+            if loss and rng.random() < loss:
+                stats.dropped += 1
+                return
+            duplicate = dup > 0.0 and rng.random() < dup
+        delay = lat + size / bw
+        sim = self.sim
+        now = sim.now
+        deliver_at = now + delay
+        last = self._last_delivery.get(key, 0.0)
+        if last > deliver_at:
+            deliver_at = last
         self._last_delivery[key] = deliver_at
-        self.stats.messages += 1
-        self.stats.bytes += size
-        msg = Message(src, dst, payload, size, sim.now)
-        self._schedule_delivery(deliver_at, msg)
+        stats.messages += 1
+        stats.bytes += size
+        # Inlined _Delivery.__init__ — two allocations per RPC (request +
+        # response) make this constructor's frame measurable.
+        ev = _Delivery.__new__(_Delivery)
+        ev.sim = sim
+        ev.callbacks = [self._deliver_cb]
+        ev._value = None
+        ev._ok = True
+        ev._used = False
+        ev.src = src
+        ev.dst = dst
+        ev.payload = payload
+        ev.size = size
+        ev.sent_at = now
+        # deliver_at is strictly in the future (delay > 0 and the FIFO
+        # clamp only moves it later), so stage it for the heap directly.
+        sim._eid = eid = sim._eid + 1
+        sim._staged.append((deliver_at, eid, ev))
         if duplicate:
             # The copy arrives a link-delay later, out of FIFO order —
             # receivers must tolerate it (at-least-once delivery).
-            self.stats.duplicated += 1
-            self._schedule_delivery(deliver_at + delay, msg)
+            stats.duplicated += 1
+            copy = _Delivery(sim, src, dst, payload, size, now,
+                             self._deliver_cb)
+            sim._queue_at(deliver_at + delay, copy)
 
-    def _schedule_delivery(self, deliver_at: float, msg: Message) -> None:
-        sim = self.sim
-        ev = sim.event()
-        ev.callbacks.append(lambda _ev, m=msg: self._deliver(m))
-        ev._ok = True
-        ev._value = None
-        sim._queue_at(deliver_at, ev)
-
-    def _deliver(self, msg: Message) -> None:
+    def _deliver(self, ev: "_Delivery") -> None:
         # Re-check reachability at delivery time: a crash mid-flight or a
         # partition installed after send() still drops the message.
-        if not self._reachable(msg.src, msg.dst):
+        if not self._reachable(ev.src, ev.dst):
             self.stats.dropped += 1
             return
-        self._inboxes[msg.dst].put(msg)
+        dst = ev.dst
+        hook = self._hooks.get(dst)
+        if hook is not None and hook(ev):
+            return
+        self._inboxes[dst].put(ev)

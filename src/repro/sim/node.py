@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Generator, Optional
 
-from .core import Process, Simulator
+from .core import _PENDING, Process, Simulator
 from .network import Network
 from .random import RandomStreams
 from .resources import Resource
@@ -20,6 +20,8 @@ from .resources import Resource
 
 class Cluster:
     """Top-level container for one simulated experiment."""
+
+    __slots__ = ("sim", "streams", "network", "nodes")
 
     def __init__(
         self,
@@ -55,6 +57,11 @@ class Cluster:
 class Node:
     """One machine: CPU cores, a disk, and crashable processes."""
 
+    __slots__ = ("cluster", "sim", "network", "name", "cores",
+                 "disk_concurrency", "cpu", "disk", "disk_factor", "down",
+                 "_procs", "_procs_cap", "_on_crash", "_on_recover",
+                 "_endpoints")
+
     def __init__(self, cluster: Cluster, name: str, cores: int = 8,
                  disk_concurrency: int = 1):
         self.cluster = cluster
@@ -69,6 +76,7 @@ class Node:
         self.disk_factor = 1.0
         self.down = False
         self._procs: list[Process] = []
+        self._procs_cap = 256          # GC sweep threshold (doubles with load)
         self._on_crash: list[Callable[[], None]] = []
         self._on_recover: list[Callable[[], None]] = []
         self._endpoints: list[str] = []
@@ -76,10 +84,16 @@ class Node:
     # -- process management ----------------------------------------------
     def spawn(self, gen: Generator, name: str = "") -> Process:
         """Start a process whose lifetime is bound to this node."""
-        proc = self.sim.process(gen, name or f"{self.name}.proc")
-        self._procs.append(proc)
-        if len(self._procs) > 256:  # garbage-collect finished handlers
-            self._procs = [p for p in self._procs if p.is_alive]
+        proc = Process(self.sim, gen, name or f"{self.name}.proc")
+        procs = self._procs
+        procs.append(proc)
+        if len(procs) >= self._procs_cap:
+            # Garbage-collect finished handlers. The threshold doubles
+            # with the live count so a busy server (thousands of
+            # short-lived RPC handlers) sweeps amortized O(1) per spawn
+            # instead of rescanning a near-full list every few spawns.
+            self._procs = procs = [p for p in procs if p._value is _PENDING]
+            self._procs_cap = max(256, 2 * len(procs))
         return proc
 
     def register_endpoint(self, endpoint: str) -> None:

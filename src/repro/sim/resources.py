@@ -18,7 +18,7 @@ import heapq
 from collections import deque
 from typing import Any
 
-from .core import Event, Simulator
+from .core import _PENDING, Event, Simulator
 
 
 class Request(Event):
@@ -27,7 +27,12 @@ class Request(Event):
     __slots__ = ("resource", "priority", "_order")
 
     def __init__(self, resource: "Resource", priority: int = 0):
-        super().__init__(resource.sim)
+        # Inlined Event.__init__ (one Request per simulated op — hot).
+        self.sim = resource.sim
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._used = False
         self.resource = resource
         self.priority = priority
         self._order = 0
@@ -41,6 +46,8 @@ class Request(Event):
 
 class Resource:
     """FIFO resource with integer capacity."""
+
+    __slots__ = ("sim", "capacity", "users", "queue")
 
     def __init__(self, sim: Simulator, capacity: int = 1):
         if capacity < 1:
@@ -57,9 +64,14 @@ class Resource:
 
     def request(self) -> Request:
         req = Request(self)
-        if len(self.users) < self.capacity:
-            self.users.append(req)
-            req.succeed()
+        users = self.users
+        if len(users) < self.capacity:
+            users.append(req)
+            # Inlined succeed: a fresh request has no waiters yet, so the
+            # no-waiter fast path (mark processed, skip the queue) always
+            # applies; the process resumes inline when it yields the req.
+            req._value = None
+            req.callbacks = None
         else:
             self.queue.append(req)
         return req
@@ -78,16 +90,29 @@ class Resource:
         self._grant_next()
 
     def _grant_next(self) -> None:
-        while self.queue and len(self.users) < self.capacity:
-            nxt = self.queue.popleft()
-            if nxt.triggered:  # cancelled
+        queue = self.queue
+        users = self.users
+        capacity = self.capacity
+        while queue and len(users) < capacity:
+            nxt = queue.popleft()
+            if nxt._value is not _PENDING:  # cancelled
                 continue
-            self.users.append(nxt)
-            nxt.succeed()
+            users.append(nxt)
+            # Inlined Event.succeed (grant cascades run one per release
+            # at the same instant — the kernel bench's `resource` shape).
+            nxt._value = None
+            if nxt.callbacks:
+                sim = nxt.sim
+                sim._eid = eid = sim._eid + 1
+                sim._lane.append((eid, nxt, None))
+            else:
+                nxt.callbacks = None
 
 
 class PriorityResource(Resource):
     """Resource whose queue is ordered by (priority, arrival). Lower wins."""
+
+    __slots__ = ("_pq", "_seq")
 
     def __init__(self, sim: Simulator, capacity: int = 1):
         super().__init__(sim, capacity)
@@ -130,25 +155,42 @@ class PriorityResource(Resource):
 class Store:
     """Unbounded FIFO of items with blocking ``get``."""
 
+    __slots__ = ("sim", "items", "_getters")
+
     def __init__(self, sim: Simulator):
         self.sim = sim
         self.items: deque[Any] = deque()
         self._getters: deque[Event] = deque()
 
     def put(self, item: Any) -> None:
+        # Inlined Event.succeed: one put per delivered network message
+        # makes this a kernel hot path (see the kernel bench).
         while self._getters:
             getter = self._getters.popleft()
-            if getter.triggered:
+            if getter._value is not _PENDING:
                 continue
-            getter.succeed(item)
+            getter._ok = True
+            getter._value = item
+            sim = self.sim
+            sim._eid = eid = sim._eid + 1
+            sim._lane.append((eid, getter, None))
             return
         self.items.append(item)
 
     def get(self) -> Event:
-        ev = Event(self.sim)
+        # Inlined Event.__init__ (+ succeed on the items-ready branch).
+        ev = Event.__new__(Event)
+        ev.sim = self.sim
+        ev.callbacks = []
+        ev._ok = True
+        ev._used = False
         if self.items:
-            ev.succeed(self.items.popleft())
+            ev._value = self.items.popleft()
+            sim = self.sim
+            sim._eid = eid = sim._eid + 1
+            sim._lane.append((eid, ev, None))
         else:
+            ev._value = _PENDING
             self._getters.append(ev)
         return ev
 

@@ -10,10 +10,10 @@ marshalled to the caller and re-raised there, preserving POSIX errnos.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from sys import intern
 from typing import Any, Callable, Dict, Generator, Optional
 
-from .core import AnyOf, Event, Interrupt
+from .core import _PENDING, AnyOf, Event, Interrupt
 from .node import Node
 
 DEFAULT_REQ_SIZE = 192
@@ -50,28 +50,40 @@ class RequestExpired(Exception):
         self.deadline = deadline
 
 
-@dataclass(frozen=True)
 class _Request:
-    rpc_id: int
-    reply_to: str
-    method: str
-    args: Any
-    resp_size: int
-    deadline: Optional[float] = None   # absolute sim time; None = unbounded
+    """One in-flight call (plain ``__slots__`` class: allocated per RPC on
+    the hot path, so no dataclass machinery)."""
+
+    __slots__ = ("rpc_id", "reply_to", "method", "args", "resp_size",
+                 "deadline")
+
+    def __init__(self, rpc_id: int, reply_to: str, method: str, args: Any,
+                 resp_size: int, deadline: Optional[float] = None):
+        self.rpc_id = rpc_id
+        self.reply_to = reply_to
+        self.method = method
+        self.args = args
+        self.resp_size = resp_size
+        # absolute sim time; None = unbounded
+        self.deadline = deadline
 
 
-@dataclass(frozen=True)
 class _Response:
-    rpc_id: int
-    ok: bool
-    value: Any
+    __slots__ = ("rpc_id", "ok", "value")
+
+    def __init__(self, rpc_id: int, ok: bool, value: Any):
+        self.rpc_id = rpc_id
+        self.ok = ok
+        self.value = value
 
 
-@dataclass(frozen=True)
 class _Cast:
-    method: str
-    args: Any
-    src: str
+    __slots__ = ("method", "args", "src")
+
+    def __init__(self, method: str, args: Any, src: str):
+        self.method = method
+        self.args = args
+        self.src = src
 
 
 class Reply:
@@ -87,6 +99,10 @@ class Reply:
 class RpcAgent:
     """Bidirectional RPC endpoint bound to a node."""
 
+    __slots__ = ("node", "sim", "network", "endpoint", "inbox", "handlers",
+                 "fast_handlers", "_pending", "_next_id", "_spawn_names",
+                 "_dispatcher")
+
     def __init__(self, node: Node, endpoint: str):
         self.node = node
         self.sim = node.sim
@@ -98,14 +114,25 @@ class RpcAgent:
         self.fast_handlers: Dict[str, Callable] = {}
         self._pending: Dict[int, Event] = {}
         self._next_id = 0
+        # method -> interned "endpoint.method" label, built once: spawn
+        # names for request handlers must not re-format a string per call.
+        self._spawn_names: Dict[str, str] = {}
         self._dispatcher = node.spawn(self._dispatch_loop(), f"{endpoint}.dispatch")
+        self.network.set_inbox_hook(endpoint, self._inbox_hook)
         node.on_crash(self._fail_pending)
         node.on_recover(self._restart)
 
     # -- server side -------------------------------------------------------
     def register(self, method: str, handler: Callable) -> None:
         """Register ``handler(src, args)`` — a generator function."""
-        self.handlers[method] = handler
+        self.handlers[intern(method)] = handler
+
+    def _spawn_name(self, method: str) -> str:
+        name = self._spawn_names.get(method)
+        if name is None:
+            name = self._spawn_names[method] = intern(
+                f"{self.endpoint}.{method}")
+        return name
 
     def register_fast(self, method: str, fn: Callable) -> None:
         """Register a plain-function *cast* handler, run inline by the
@@ -114,33 +141,64 @@ class RpcAgent:
         self.fast_handlers[method] = fn
 
     def _dispatch_loop(self) -> Generator:
+        inbox_get = self.inbox.get
+        pending = self._pending
+        node_spawn = self.node.spawn
         while True:
             try:
-                msg = yield self.inbox.get()
+                msg = yield inbox_get()
             except Interrupt:
                 return
             if msg is None:  # cancelled get during teardown
                 return
             payload = msg.payload
-            if isinstance(payload, _Response):
-                waiter = self._pending.pop(payload.rpc_id, None)
-                if waiter is not None and not waiter.triggered:
+            cls = payload.__class__
+            if cls is _Response:
+                waiter = pending.pop(payload.rpc_id, None)
+                if waiter is not None and waiter._value is _PENDING:
                     waiter.succeed(payload)
-            elif isinstance(payload, _Request):
-                proc = self.node.spawn(self._serve(payload),
-                                       f"{self.endpoint}.{payload.method}")
+            elif cls is _Request:
+                proc = node_spawn(self._serve(payload),
+                                  self._spawn_name(payload.method))
                 # The handler process runs under the caller's remaining
                 # budget; nested RPCs it issues inherit it ambiently.
                 proc.deadline = payload.deadline
-            elif isinstance(payload, _Cast):
+            elif cls is _Cast:
                 fast = self.fast_handlers.get(payload.method)
                 if fast is not None:
                     fast(payload.src, payload.args)
                     continue
                 handler = self.handlers.get(payload.method)
                 if handler is not None:
-                    self.node.spawn(self._serve_cast(handler, payload),
-                                    f"{self.endpoint}.{payload.method}")
+                    node_spawn(self._serve_cast(handler, payload),
+                               self._spawn_name(payload.method))
+
+    def _inbox_hook(self, msg) -> bool:
+        """Delivery-time fast path for responses (see ``set_inbox_hook``).
+
+        Completes a pending call at the instant its response delivery
+        event fires, skipping the inbox round-trip plus dispatcher wakeup
+        (one Event, one queue hop, and one generator resume per RPC).
+        Only legal when the inbox is empty and the dispatcher's get is
+        armed — i.e. exactly when the dispatcher would receive this
+        message next anyway, so per-endpoint FIFO processing order is
+        unchanged. Requests and casts stay on the queue path: they spawn
+        handler processes, and pulling those spawns earlier in the
+        same-instant order would perturb replay (the figure-trace pin).
+        """
+        if msg.payload.__class__ is not _Response:
+            return False
+        inbox = self.inbox
+        if inbox.items:
+            return False
+        getters = inbox._getters
+        if not getters or getters[0]._value is not _PENDING:
+            return False
+        payload = msg.payload
+        waiter = self._pending.pop(payload.rpc_id, None)
+        if waiter is not None and waiter._value is _PENDING:
+            waiter.succeed(payload)
+        return True
 
     def _serve(self, req: _Request) -> Generator:
         handler = self.handlers.get(req.method)
@@ -199,9 +257,13 @@ class RpcAgent:
                 raise RpcTimeout(dst, method)
             timeout = (remaining if timeout is None
                        else min(timeout, remaining))
-        self._next_id += 1
-        rpc_id = self._next_id
-        waiter = self.sim.event()
+        self._next_id = rpc_id = self._next_id + 1
+        waiter = Event.__new__(Event)   # inlined Event.__init__ (hot path)
+        waiter.sim = self.sim
+        waiter.callbacks = []
+        waiter._value = _PENDING
+        waiter._ok = True
+        waiter._used = False
         self._pending[rpc_id] = waiter
         req = _Request(rpc_id, self.endpoint, method, args, resp_size,
                        deadline)

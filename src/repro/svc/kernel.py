@@ -17,6 +17,7 @@ event-for-event identical to its hand-rolled predecessor.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from sys import intern
 from typing import Any, Callable, Dict, Generator, Optional
 
 from ..sim.core import AnyOf, Interrupt
@@ -105,6 +106,10 @@ class Service:
 
     # -- the one counted wrapper ------------------------------------------
     def _instrumented(self, method: str, handler: Callable) -> Callable:
+        # Interned once per exposed method: the per-op trace label must not
+        # be re-formatted on every completion.
+        key = intern(f"{self.deployment}/{self.endpoint}.{method}")
+
         def wrapper(src: str, args: Any) -> Generator:
             arrive = self.sim.now
             # Ambient deadline, propagated from the caller's _Request by
@@ -160,7 +165,7 @@ class Service:
                     self._op_stats["ops"] = self._op_stats.get("ops", 0) + 1
                 self.bus.record(OpTrace(self.deployment, self.endpoint,
                                         method, arrive, start, self.sim.now,
-                                        ok, src, shard=self.shard))
+                                        ok, src, shard=self.shard), key=key)
 
         return wrapper
 
@@ -211,6 +216,8 @@ def instrument_client(obj: Any, methods, bus: TraceBus, deployment: str,
     """
 
     def wrap(name: str, fn: Callable) -> Callable:
+        key = intern(f"{deployment}/{endpoint}.{name}")
+
         def traced(*args, **kwargs) -> Generator:
             t0 = obj.sim.now
             ok = False
@@ -221,7 +228,8 @@ def instrument_client(obj: Any, methods, bus: TraceBus, deployment: str,
             finally:
                 bus.record(OpTrace(deployment, endpoint, name, t0, t0,
                                    obj.sim.now, ok,
-                                   retries=retries_of() if retries_of else 0))
+                                   retries=retries_of() if retries_of else 0),
+                           key=key)
 
         return traced
 

@@ -11,7 +11,12 @@ server stack reports the same metrics through the same pipe.
 
 Recording is pure bookkeeping (no simulator events), so attaching a bus
 never perturbs the simulation: a run with tracing on is event-for-event
-identical to one with tracing off.
+identical to one with tracing off. For large sweeps where per-op latency
+bookkeeping itself shows up in profiles, ``TraceBus(sample=N)`` records
+latency distributions (and the raw event list / subscriber fan-out) for
+one op in N while keeping every counter — ops, errors, retries, expired,
+rejected — exact. Sampling is off by default and never used by the
+figure suite, whose traces are pinned byte-for-byte.
 """
 
 from __future__ import annotations
@@ -60,9 +65,17 @@ class TraceBus:
     By default only aggregates (counts + latency recorders) are kept;
     ``keep_events=True`` additionally retains the raw event list, which the
     determinism tests compare byte-for-byte and ``repro trace`` can dump.
+
+    ``sample=N`` (N > 1) records the latency distributions, the retained
+    event list, and subscriber callbacks for only one op in N (every N-th
+    record). Counters stay exact regardless of sampling, so throughput and
+    error accounting never lose ops — only distribution *samples* are
+    thinned. The default ``sample=1`` records everything.
     """
 
-    def __init__(self, keep_events: bool = False):
+    def __init__(self, keep_events: bool = False, sample: int = 1):
+        if sample < 1:
+            raise ValueError(f"sample must be >= 1, got {sample}")
         self.ops = Counter()            # key -> completions (ok + error)
         self.errors = Counter()         # key -> failed completions
         self.retries = Counter()        # key -> client retry attempts
@@ -73,19 +86,28 @@ class TraceBus:
         self.events: Optional[List[OpTrace]] = [] if keep_events else None
         self.shard_of: Dict[str, int] = {}  # key -> shard (constant per endpoint)
         self._subscribers: List[Callable[[OpTrace], None]] = []
+        self.sample = int(sample)
+        self._seen = 0                  # records since construction (all keys)
 
     # -- recording ---------------------------------------------------------
-    def record(self, ev: OpTrace) -> None:
-        key = ev.key
+    def record(self, ev: OpTrace, key: Optional[str] = None) -> None:
+        """Publish one op. ``key`` lets hot callers pass the (interned)
+        ``deployment/endpoint.method`` label instead of re-formatting it
+        per op; when omitted it is derived from the event."""
+        if key is None:
+            key = ev.key
         self.ops.inc(key)
         if not ev.ok:
             self.errors.inc(key)
         if ev.retries:
             self.retries.inc(key, ev.retries)
-        self.queue_wait.record(key, ev.queue_wait)
-        self.service.record(key, ev.service)
         if ev.shard:
             self.shard_of[key] = ev.shard
+        self._seen = seen = self._seen + 1
+        if self.sample > 1 and seen % self.sample:
+            return
+        self.queue_wait.record(key, ev.queue_wait)
+        self.service.record(key, ev.service)
         if self.events is not None:
             self.events.append(ev)
         for fn in self._subscribers:
@@ -167,7 +189,8 @@ class NullBus(TraceBus):
     def __init__(self):
         super().__init__()
 
-    def record(self, ev: OpTrace) -> None:  # noqa: ARG002 - interface
+    def record(self, ev: OpTrace,  # noqa: ARG002 - interface
+               key: Optional[str] = None) -> None:
         return
 
     def mark_expired(self, deployment: str, endpoint: str,  # noqa: ARG002

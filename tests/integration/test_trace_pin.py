@@ -1,0 +1,40 @@
+"""Byte-identical trace pin against the pre-overhaul kernel.
+
+The simulator hot-path overhaul (fast event kernel, same-time FIFO lane,
+batched heap inserts, interned RPC keys) must not move a single event:
+with trace sampling off, a figure-suite workload replays the exact
+OpTrace stream the pre-overhaul kernel produced. The golden digest below
+was captured from the kernel as of the commit *before* the overhaul; any
+rewrite that reorders ties, shifts a timestamp, or drops/duplicates an
+op changes it.
+"""
+
+import hashlib
+
+from repro.core.fs import build_dufs_deployment
+from repro.svc import TraceBus
+from repro.workloads.mdtest import MdtestConfig, run_mdtest
+
+# sha256 over the full OpTrace stream of the workload below, captured on
+# the pre-overhaul kernel (see _trace_digest for the exact encoding).
+GOLDEN_DIGEST = ("11543e8d3ddc47e31c3e03c76a5013d0"
+                 "4e621e0ad59c23bde40cf83e3996bf14")
+
+
+def _trace_digest() -> str:
+    bus = TraceBus(keep_events=True)
+    dep = build_dufs_deployment(n_zk=3, n_backends=2, n_client_nodes=2,
+                                backend="local", seed=0, bus=bus)
+    cfg = MdtestConfig(n_procs=4, items_per_proc=10,
+                       phases=("dir_create", "dir_stat", "dir_remove"))
+    run_mdtest(dep.cluster, dep.mount_for, dep.node_for, cfg)
+    h = hashlib.sha256()
+    for ev in bus.events:
+        h.update(repr((ev.deployment, ev.endpoint, ev.method, ev.arrive,
+                       ev.start, ev.end, ev.ok, ev.src, ev.retries,
+                       ev.shard)).encode())
+    return h.hexdigest()
+
+
+def test_figure_workload_trace_matches_pre_overhaul_kernel():
+    assert _trace_digest() == GOLDEN_DIGEST

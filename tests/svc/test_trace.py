@@ -74,3 +74,33 @@ def test_null_bus_discards():
     bus.record(ev())
     assert not bus.keys() and bus.ops.get("dep/ep.op") == 0
     assert isinstance(NULL_BUS, NullBus)
+
+
+def test_bus_sampling_keeps_counters_exact_thins_samples():
+    bus = TraceBus(keep_events=True, sample=4)
+    seen = []
+    bus.subscribe(seen.append)
+    for i in range(100):
+        bus.record(ev(ok=(i % 10 != 0), retries=1 if i % 5 == 0 else 0))
+    # Counters never lose ops, sampled or not.
+    assert bus.ops.get("dep/ep.op") == 100
+    assert bus.errors.get("dep/ep.op") == 10
+    assert bus.retries.get("dep/ep.op") == 20
+    # Distributions, the raw stream, and subscribers see one op in four.
+    assert bus.queue_wait.count("dep/ep.op") == 25
+    assert bus.service.count("dep/ep.op") == 25
+    assert len(bus.events) == 25
+    assert len(seen) == 25
+
+
+def test_bus_sample_default_records_everything():
+    bus = TraceBus(keep_events=True)
+    for _ in range(7):
+        bus.record(ev())
+    assert bus.queue_wait.count("dep/ep.op") == 7
+    assert len(bus.events) == 7
+
+
+def test_bus_sample_must_be_positive():
+    with pytest.raises(ValueError):
+        TraceBus(sample=0)
