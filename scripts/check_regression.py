@@ -10,6 +10,7 @@ per-suite ``check_*_regression.py`` copies)::
     PYTHONPATH=src python scripts/check_regression.py --suite resilience
     PYTHONPATH=src python scripts/check_regression.py --suite resolve
     PYTHONPATH=src python scripts/check_regression.py --suite kernel
+    PYTHONPATH=src python scripts/check_regression.py --suite elastic
         [--baseline PATH] [--tolerance 0.25]
 
 Each suite reruns its benchmark at the scale/seed recorded in the
@@ -17,7 +18,8 @@ baseline, renders the human-readable table, and fails (exit 1) when the
 suite's ``check_*`` function reports regressions: any throughput more
 than the tolerance (default 25%) below baseline, or an acceptance floor
 no longer met (2x cache speedup, 1.5x shard scaling, 1.5x resilience
-goodput, 3x resolve deep-stat, the kernel events/sec floor). Simulated
+goodput, 3x resolve deep-stat, the kernel events/sec floor, 1.3x elastic
+speedup over the best static layout). Simulated
 throughput is deterministic for a given seed, so any drift is a real
 behavioural change in the model, not runner noise. The ``kernel`` suite
 is the exception: it measures *wall-clock* events/sec, so it normalizes
@@ -41,17 +43,20 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from repro.bench import (
+    check_elastic_regression,
     check_kernel_regression,
     check_regression,
     check_resilience_regression,
     check_resolve_regression,
     check_shard_regression,
     render_cache_ablation,
+    render_elastic_bench,
     render_kernel_bench,
     render_resilience_overload,
     render_resolve_ablation,
     render_shard_scaling,
     run_cache_ablation,
+    run_elastic_bench,
     run_kernel_bench,
     run_resilience_overload,
     run_resolve_ablation,
@@ -124,11 +129,24 @@ SUITES: Dict[str, Suite] = {
         refresh="python -m repro bench --kernel "
                 "--json benchmarks/BENCH_kernel.json",
         ok="kernel events/sec floors met"),
+    "elastic": Suite(
+        baseline="BENCH_elastic.json",
+        run=_scale_seed_runner(run_elastic_bench),
+        render=render_elastic_bench,
+        check=check_elastic_regression,
+        refresh="python -m repro bench --elastic "
+                "--json benchmarks/BENCH_elastic.json",
+        ok="1.3x elastic-over-static floor met"),
 }
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="known suites:\n" + "\n".join(
+            f"  {name:<12} baseline benchmarks/{suite.baseline}"
+            for name, suite in sorted(SUITES.items())))
     parser.add_argument("--suite", choices=sorted(SUITES), required=False)
     parser.add_argument("--baseline", default=None,
                         help="baseline JSON (default: the suite's file "

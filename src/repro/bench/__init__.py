@@ -6,6 +6,12 @@ from .cache_bench import (
     run_cache_ablation,
     write_cache_bench_json,
 )
+from .elastic_bench import (
+    check_elastic_regression,
+    render_elastic_bench,
+    run_elastic_bench,
+    write_elastic_bench_json,
+)
 from .export import figure_to_csv, write_figure_csv
 from .kernel_bench import (
     check_kernel_regression,
@@ -45,6 +51,7 @@ from .shard_bench import (
     run_shard_scaling,
     write_shard_bench_json,
 )
+from .shardmap_cli import render_shardmap, run_shardmap, run_shardmap_demo
 from .trace_cli import run_trace, trace_rows
 
 __all__ = [
@@ -64,5 +71,8 @@ __all__ = [
     "write_resolve_bench_json", "check_resolve_regression",
     "run_kernel_bench", "render_kernel_bench",
     "write_kernel_bench_json", "check_kernel_regression",
+    "run_elastic_bench", "render_elastic_bench",
+    "write_elastic_bench_json", "check_elastic_regression",
+    "run_shardmap", "run_shardmap_demo", "render_shardmap",
     "run_profile", "profile_targets",
 ]

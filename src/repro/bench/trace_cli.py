@@ -64,11 +64,19 @@ def run_trace(scale: str = "quick", backend: str = "local",
                                 params=params, seed=seed, trace=True,
                                 cache=CacheParams.caching_on() if cache
                                 else None, n_shards=shards)
+    # Windowed per-shard op rates — the same aggregation the elastic
+    # autoscaler decides on, here covering the whole run so the export
+    # shows each shard's share of the load.
+    shard_window = 60.0
+    dep.bus.enable_shard_window(shard_window)
     cfg = MdtestConfig(n_procs=n_procs, items_per_proc=items,
                        phases=phases or ("dir_create", "dir_stat",
                                          "dir_remove"))
     result = run_mdtest(dep.cluster, dep.mount_for, dep.node_for, cfg)
 
+    elapsed = dep.cluster.sim.now
+    shard_rates = dep.bus.shard_window_rates(now=elapsed, deployment="zk",
+                                             window=elapsed)
     doc = {
         "benchmark": "trace",
         "scale": scale, "backend": backend, "seed": seed,
@@ -77,6 +85,8 @@ def run_trace(scale: str = "quick", backend: str = "local",
         "phases": {name: {"ops": r.ops, "duration": r.duration,
                           "ops_per_s": r.throughput}
                    for name, r in result.phases.items()},
+        "shard_rates": {str(k): v for k, v in sorted(shard_rates.items())},
+        "shard_rate_window": min(shard_window, elapsed),
         "rows": trace_rows(dep.bus),
     }
     if json_path == "-":
@@ -89,6 +99,10 @@ def run_trace(scale: str = "quick", backend: str = "local",
              f"{f' shards={shards}' if shards > 1 else ''}", ""]
     for name, phase in result.phases.items():
         lines.append(f"  {name:<12s} {phase.throughput:10.1f} ops/s")
+    if shards > 1 and shard_rates:
+        shares = "  ".join(f"s{k}={v:,.0f}"
+                           for k, v in sorted(shard_rates.items()))
+        lines += ["", f"  per-shard ZK op rate (ops/s): {shares}"]
     lines += ["", dep.bus.table()]
     if cache:
         counters = aggregate_counters([c.mdcache for c in dep.clients])

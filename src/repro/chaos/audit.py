@@ -26,6 +26,13 @@ would run, counted in ``AuditReport.repairs``. A crash mid cross-shard
 rename therefore audits clean: the intent record deterministically
 finishes the operation.
 
+Elastic deployments additionally audit against the **registry's current
+shard map** (clients adopt epochs lazily, so their own maps may lag) and
+roll surviving *migration markers* (``b"M:"``-prefixed intents) forward:
+under current-map authority the merged view is already complete on both
+sides of a torn migration's cutover, so the roll-forward retires the
+marker and counts one repair.
+
 The report is machine-readable (:meth:`AuditReport.to_dict`) and
 deterministic: violations are sorted, so two runs with the same seed and
 schedule produce byte-identical reports.
@@ -170,10 +177,18 @@ def merged_namespace_view(deployment) -> Tuple[Dict[str, bytes], int]:
     into the view, reconciling interrupted operations. Returns the view
     and the number of roll-forward repairs applied.
     """
-    from ..mds import INTENT_ROOT, apply_intent_to_view, decode_intent
+    from ..mds import INTENT_ROOT, apply_intent_to_view, decode_intent, \
+        is_migration_marker
 
     service = deployment.clients[0].zk
-    shard_map = service.map
+    # Elastic deployments: the registry's CURRENT map is the authority,
+    # not whatever epoch a client last adopted (adoption is lazy). This
+    # is what makes live migration crash-safe — a crash before cutover
+    # leaves the old map current (frozen source complete, destination
+    # partials invisible); after cutover the new map is current
+    # (destination complete, stale source leftovers invisible).
+    registry = getattr(deployment, "registry", None)
+    shard_map = registry.current if registry is not None else service.map
     view: Dict[str, bytes] = {}
     intents: List[Tuple[str, bytes]] = []
     for k, ensemble in enumerate(deployment.ensembles):
@@ -189,6 +204,13 @@ def merged_namespace_view(deployment) -> Tuple[Dict[str, bytes], int]:
                 view[path] = store.get(path)[0]
     repairs = 0
     for _path, data in sorted(intents):
+        if is_migration_marker(data):
+            # Torn subtree migration. Rolling it forward is retiring the
+            # marker: under current-map authority the merged view is
+            # already the pre- or post-cutover namespace, whichever the
+            # installed epoch says — both complete.
+            repairs += 1
+            continue
         try:
             steps = decode_intent(data)
         except (ValueError, UnicodeDecodeError):

@@ -21,6 +21,10 @@ schedule can be compared apples-to-apples:
 - ``client:<i>`` — the i-th client node
 - ``backend:<i>`` — DUFS back-end index (degraded mode)
 - ``fs`` — the filesystem object itself (``failover`` events)
+- ``migration:src`` / ``migration:dst`` — the source/destination shard
+  leader of the currently in-flight subtree migration (DUFS with
+  ``elastic``): resolved lazily at fire time, so a schedule can crash a
+  shard *mid-copy* and the audit proves the torn migration rolls forward
 """
 
 from __future__ import annotations
@@ -29,8 +33,9 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from ..errors import FSError
-from ..models.params import (CacheParams, LustreParams, PVFSParams,
-                             ResilienceParams, SimParams, ZKParams)
+from ..models.params import (CacheParams, ElasticParams, LustreParams,
+                             PVFSParams, ResilienceParams, SimParams,
+                             ZKParams)
 from ..sim.node import Cluster
 from .audit import AuditReport, audit_dufs
 from .engine import ChaosEngine
@@ -97,7 +102,8 @@ def default_schedule(deployment: str, duration: float,
 # -- deployment adapters ----------------------------------------------------
 def _build_dufs(seed: int, cache: Optional[CacheParams] = None,
                 shards: int = 1,
-                resilience: Optional[ResilienceParams] = None):
+                resilience: Optional[ResilienceParams] = None,
+                elastic: Optional[ElasticParams] = None):
     from ..core import build_dufs_deployment
 
     params = SimParams()
@@ -112,7 +118,7 @@ def _build_dufs(seed: int, cache: Optional[CacheParams] = None,
                                 co_locate_zk=False, seed=seed,
                                 zk_request_timeout=0.4, zk_max_retries=10,
                                 cache=cache, n_shards=shards,
-                                resilience=resilience)
+                                resilience=resilience, autoscale=elastic)
     flat_servers = [s for ens in dep.ensembles for s in ens.servers]
 
     def resolve(symbol: str):
@@ -124,6 +130,16 @@ def _build_dufs(seed: int, cache: Optional[CacheParams] = None,
             return leader.node
         if kind == "shard":
             ens = dep.ensembles[int(arg) % len(dep.ensembles)]
+            target = ens.leader or ens.servers[0]
+            return target.node
+        if kind == "migration":
+            # Lazily resolved at fire time: the shard currently serving
+            # the source (or destination) of the in-flight migration.
+            if dep.registry is None or not dep.registry.migrations:
+                raise RuntimeError("no in-flight migration to target")
+            mig = dep.registry.migrations[0]
+            shard = mig.src if arg == "src" else mig.dst
+            ens = dep.ensembles[shard]
             target = ens.leader or ens.servers[0]
             return target.node
         if kind in ("zk", "meta"):
@@ -204,6 +220,7 @@ def run_chaos(
     cache: Optional[CacheParams] = None,
     shards: int = 1,
     resilience: Optional[ResilienceParams] = None,
+    elastic: Optional[ElasticParams] = None,
 ) -> ChaosRunResult:
     """One chaos experiment: op stream + schedule replay + (DUFS) audit.
 
@@ -219,6 +236,9 @@ def run_chaos(
     (DUFS only) runs the clients under the given request-lifecycle policy
     (deadlines / retry budget / breakers / hedged reads), so a chaos
     campaign can prove hedging and fast-fails never corrupt the namespace.
+    ``elastic`` (DUFS only, needs ``shards >= 2``) runs the elastic
+    metadata plane and unlocks the ``migration:src`` / ``migration:dst``
+    targets for crash-during-migration experiments.
     """
     if deployment not in DEPLOYMENTS:
         raise ValueError(f"unknown deployment {deployment!r}")
@@ -228,9 +248,11 @@ def run_chaos(
         raise ValueError("shards is a DUFS-only option")
     if resilience is not None and deployment != "dufs":
         raise ValueError("resilience is a DUFS-only option")
+    if elastic is not None and deployment != "dufs":
+        raise ValueError("elastic is a DUFS-only option")
     builder = _BUILDERS[deployment]
     built = builder(seed, cache=cache, shards=shards,
-                    resilience=resilience) \
+                    resilience=resilience, elastic=elastic) \
         if deployment == "dufs" else builder(seed)
     cluster, dep, client, node, resolve, apply_backend = built
     duration = ops * op_interval

@@ -15,10 +15,17 @@ Usage::
                                             # client vs fat-client VFS walk
     python -m repro bench --kernel          # simulator events/sec bench
                                             # (the hot-path speed gate)
+    python -m repro bench --elastic         # elastic-vs-static arms on the
+                                            # skewed shifting-hotspot load
+    python -m repro shardmap [--json -]     # elastic plane state dump: map,
+                                            # epochs, per-shard load,
+                                            # migrations, decisions
     python -m repro profile kernel          # cProfile any bench/figure and
     python -m repro profile fig7            # print the hot-path table
     python -m repro chaos --shards 4        # sharded metadata plane + shard:<k>
     python -m repro chaos --resilience      # deadlines+budget+breakers+hedging
+    python -m repro chaos --shards 2 --elastic  # elastic plane under faults
+                                                # (+ migration:src/dst targets)
     python -m repro all --scale medium
 """
 
@@ -62,12 +69,14 @@ def main(argv=None) -> int:
                     "(CLUSTER 2011) on the simulated cluster.")
     parser.add_argument("target",
                         choices=[*RUNNERS, "claims", "chaos", "trace",
-                                 "bench", "profile", "all"],
+                                 "bench", "shardmap", "profile", "all"],
                         help="which figure/table to regenerate "
                              "(or 'chaos': a fault-injection run; 'trace': "
                              "a traced mdtest with per-endpoint op metrics; "
-                             "'bench': the client-cache ablation; 'profile': "
-                             "run a bench/figure under cProfile)")
+                             "'bench': the client-cache ablation; "
+                             "'shardmap': the elastic metadata plane state "
+                             "dump; 'profile': run a bench/figure under "
+                             "cProfile)")
     parser.add_argument("subtarget", nargs="?", default=None,
                         help="for 'profile': which target to profile "
                              "(e.g. kernel, kernel:fanout, bench, fig7)")
@@ -109,6 +118,12 @@ def main(argv=None) -> int:
                         help="bench: run the simulator events/sec kernel "
                              "bench (timer churn, RPC fan-out, "
                              "spawn/interrupt, resource cascades)")
+    parser.add_argument("--elastic", action="store_true",
+                        help="bench: run the elastic-vs-static comparison "
+                             "(autoscaler with live subtree migration vs "
+                             "the best static layouts on a skewed, "
+                             "shifting hotspot); chaos: run the elastic "
+                             "plane (needs --shards >= 2)")
     parser.add_argument("--top", type=int, default=25,
                         help="profile: how many hot-path rows to print")
     parser.add_argument("--sort", default="tottime",
@@ -141,15 +156,22 @@ def main(argv=None) -> int:
     for target in targets:
         if target == "chaos":
             from .chaos import run_chaos
-            from .models.params import CacheParams, ResilienceParams
+            from .models.params import (CacheParams, ElasticParams,
+                                        ResilienceParams)
             cache = CacheParams.caching_on() \
                 if args.cache and args.deployment == "dufs" else None
             resilience = ResilienceParams.resilience_on(hedge_enabled=True) \
                 if args.resilience and args.deployment == "dufs" else None
+            n_shards = shard_counts[0] if shard_counts else 1
+            elastic = None
+            if args.elastic:
+                if args.deployment != "dufs" or n_shards < 2:
+                    parser.error("chaos --elastic needs the DUFS deployment "
+                                 "with --shards >= 2")
+                elastic = ElasticParams.elastic_on()
             result = run_chaos(args.deployment, seed=args.seed, ops=args.ops,
-                               cache=cache,
-                               shards=shard_counts[0] if shard_counts else 1,
-                               resilience=resilience)
+                               cache=cache, shards=n_shards,
+                               resilience=resilience, elastic=elastic)
             print(result.summary())
         elif target == "trace":
             from .bench.trace_cli import run_trace
@@ -169,6 +191,17 @@ def main(argv=None) -> int:
                                   sort=args.sort))
             except ValueError as exc:
                 parser.error(str(exc))
+        elif target == "shardmap":
+            from .bench import run_shardmap
+            print(run_shardmap(scale=args.scale, seed=args.seed,
+                               json_path=args.json))
+        elif target == "bench" and args.elastic:
+            from .bench import (render_elastic_bench, run_elastic_bench,
+                                write_elastic_bench_json)
+            doc = run_elastic_bench(scale=args.scale, seed=args.seed)
+            print(render_elastic_bench(doc))
+            if args.json:
+                print(f"[json] {write_elastic_bench_json(doc, args.json)}")
         elif target == "bench" and args.kernel:
             from .bench import (render_kernel_bench, run_kernel_bench,
                                 write_kernel_bench_json)

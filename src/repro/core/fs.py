@@ -14,9 +14,11 @@ from typing import Any, List, Optional, Sequence
 
 from ..fuse.mount import FuseMount
 from ..fuse.ops import OperationTable
-from ..mds import ShardMap, ShardedMDS
-from ..models.params import (CacheParams, FaultToleranceParams,
-                             ResilienceParams, ResolveParams, SimParams)
+from ..mds import (Autoscaler, Migrator, ShardMap, ShardMapRegistry,
+                   ShardedMDS, make_route_guard)
+from ..models.params import (CacheParams, ElasticParams,
+                             FaultToleranceParams, ResilienceParams,
+                             ResolveParams, SimParams)
 from ..pfs.localfs import LocalFS
 from ..pfs.lustre.fs import build_lustre
 from ..pfs.pvfs.fs import build_pvfs
@@ -50,6 +52,13 @@ class DUFSDeployment:
     # shard order. ``ensemble`` stays bound to shard 0 for compatibility.
     ensembles: Optional[List[ZKEnsemble]] = None
     n_shards: int = 1
+    # Elastic metadata plane (all None/off unless ``autoscale`` enabled):
+    # the epoch-versioned map registry, the live-migration executor, and
+    # the load-driven control loop.
+    registry: Optional[Any] = None      # ShardMapRegistry
+    migrator: Optional[Any] = None      # Migrator
+    autoscaler: Optional[Any] = None    # Autoscaler
+    elastic: Optional[ElasticParams] = None
 
     def __post_init__(self):
         if self.ensembles is None:
@@ -120,6 +129,7 @@ def build_dufs_deployment(
     shard_subtrees: Optional[dict] = None,
     resilience: Optional[ResilienceParams] = None,
     resolve: Optional[ResolveParams] = None,
+    autoscale: Optional[ElasticParams] = None,
 ) -> DUFSDeployment:
     """Wire up a complete DUFS installation on a fresh simulated cluster.
 
@@ -174,16 +184,35 @@ def build_dufs_deployment(
     ``ResolveParams.resolve_on()`` is the preset). ``walk`` instead
     emulates the legacy fat-client per-component VFS walk the thin mode
     is benchmarked against. Off keeps runs byte-identical.
+
+    Elastic scaling: ``autoscale`` (default: ``params.elastic``, off)
+    turns the static shard map into an epoch-versioned one behind a
+    :class:`~repro.mds.ShardMapRegistry`, installs per-server route
+    guards enforcing the epoch protocol (stale-epoch requests bounce with
+    the new map; writes under a mid-copy migration park until cutover),
+    wires a :class:`~repro.mds.Migrator` for live subtree moves and —
+    unless ``autoscale.autoscale`` is False — spawns the
+    :class:`~repro.mds.Autoscaler` control loop that splits hot shards
+    and merges cold pins from windowed per-shard op rates
+    (``ElasticParams.elastic_on()`` is the preset). Requires
+    ``n_shards >= 2``. Off keeps runs byte-identical.
     """
     params = params or SimParams()
     fault = fault or params.fault
     cache = cache or params.cache
     resilience = resilience or params.resilience
     resolve = resolve or params.resolve
+    elastic = autoscale if autoscale is not None else params.elastic
     if n_shards < 1:
         raise ValueError("n_shards must be >= 1")
-    if bus is None and trace:
+    if elastic.enabled and n_shards < 2:
+        raise ValueError("elastic metadata plane requires n_shards >= 2")
+    if bus is None and (trace or elastic.enabled):
+        # The autoscaler's load signal rides the trace bus: elastic runs
+        # always carry one.
         bus = TraceBus()
+    if elastic.enabled:
+        bus.enable_shard_window(elastic.window)
     cluster = Cluster(seed=seed if seed else params.seed)
     client_nodes = [cluster.add_node(f"client{i}", cores=params.node_cores)
                     for i in range(n_client_nodes)]
@@ -220,6 +249,16 @@ def build_dufs_deployment(
 
     shard_map = ShardMap(n_shards, strategy=shard_strategy,
                          subtrees=shard_subtrees) if n_shards > 1 else None
+    registry = None
+    if elastic.enabled:
+        registry = ShardMapRegistry(shard_map)
+        # One shared guard closure on every server of every ensemble:
+        # the epoch protocol is enforced where requests land, not where
+        # they are issued.
+        guard = make_route_guard(registry)
+        for ens in ensembles:
+            for srv in ens.servers:
+                srv.route_guard = guard
     clients, mounts, zk_clients = [], [], []
     for i, node in enumerate(client_nodes):
         if n_shards == 1:
@@ -255,7 +294,7 @@ def build_dufs_deployment(
                              resilience=resilience))
             zkc = shard_clients[0]
             service = ShardedMDS(shard_clients, shard_map=shard_map,
-                                 name=f"mds{i}", bus=bus)
+                                 name=f"mds{i}", bus=bus, registry=registry)
             retries_of = lambda m=service: m.last_retries  # noqa: E731
         backend_clients = [
             be.client(node) if backend != "local" else be.client()
@@ -278,6 +317,27 @@ def build_dufs_deployment(
         clients.append(dufs)
         mounts.append(mount)
         zk_clients.append(zkc)
+    migrator = autoscaler_proc = None
+    if registry is not None:
+        # The migrator's private per-shard clients stay UNSTAMPED
+        # (map_epoch is never set), so the route guards wave its copy
+        # traffic through the very freeze it announces.
+        mig_node = client_nodes[0]
+        mig_clients = [
+            ZKClient(mig_node, ens.endpoints, prefer=ens.server_for(0),
+                     request_timeout=zk_request_timeout,
+                     max_retries=zk_max_retries, name=f"migzk{k}",
+                     fault=fault, bus=bus, resilience=resilience)
+            for k, ens in enumerate(ensembles)]
+        migrator = Migrator(registry, mig_clients, drain=elastic.drain)
+        if elastic.autoscale:
+            autoscaler_proc = Autoscaler(registry, migrator,
+                                         [c.zk for c in clients],
+                                         params=elastic, bus=bus)
+            mig_node.spawn(autoscaler_proc.run(), "autoscaler")
     return DUFSDeployment(cluster, params, client_nodes, ensemble, backends,
                           clients, mounts, zk_clients, bus=bus,
-                          ensembles=ensembles, n_shards=n_shards)
+                          ensembles=ensembles, n_shards=n_shards,
+                          registry=registry, migrator=migrator,
+                          autoscaler=autoscaler_proc,
+                          elastic=elastic if elastic.enabled else None)

@@ -114,6 +114,12 @@ class MDCache:
 
         if self.params.enabled:
             zk.watch_loss_listeners.append(self._on_watch_loss)
+            # Elastic plane: when the service adopts a newer shard map
+            # (stale-epoch bounce), the subtrees whose routing changed
+            # moved shards — the watches backing their entries live on
+            # the old shard's ensemble and no longer protect them.
+            if hasattr(zk, "map_change_listeners"):
+                zk.map_change_listeners.append(self._on_map_change)
 
     # -- bookkeeping --------------------------------------------------------
     def _mark(self, kind: str) -> None:
@@ -469,6 +475,13 @@ class MDCache:
             self._dirs.pop(event.path, None)
         if dropped:
             self._mark("watch_invalidations")
+
+    def _on_map_change(self, roots) -> None:
+        """Shard-map epoch adopted: flush every subtree whose placement
+        changed (``flush_shard`` semantics scoped to the moved roots)."""
+        for root in roots:
+            self.invalidate_subtree(root)
+            self._mark("flushes")
 
     def _on_watch_loss(self, reason: str, shard: Optional[int] = None) -> None:
         """Session re-established or server fail-over: the watches this

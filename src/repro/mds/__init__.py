@@ -8,7 +8,7 @@ cross-shard intent protocol.
 """
 
 from .base import MetadataService, as_metadata_service
-from .shardmap import ShardMap, STRATEGIES, parent_dir
+from .shardmap import ShardMap, ShardMapRegistry, STRATEGIES, parent_dir
 from .single import SingleEnsembleMDS
 from .sharded import (
     INTENT_ROOT,
@@ -17,12 +17,23 @@ from .sharded import (
     decode_intent,
     default_is_dir,
     encode_intent,
+    make_route_guard,
 )
+from .migrate import (
+    MIGRATION_MARKER,
+    Migration,
+    Migrator,
+    decode_migration,
+    encode_migration,
+    is_migration_marker,
+)
+from .autoscaler import Autoscaler
 
 __all__ = [
     "MetadataService",
     "as_metadata_service",
     "ShardMap",
+    "ShardMapRegistry",
     "STRATEGIES",
     "parent_dir",
     "SingleEnsembleMDS",
@@ -32,4 +43,12 @@ __all__ = [
     "decode_intent",
     "encode_intent",
     "default_is_dir",
+    "make_route_guard",
+    "MIGRATION_MARKER",
+    "Migration",
+    "Migrator",
+    "decode_migration",
+    "encode_migration",
+    "is_migration_marker",
+    "Autoscaler",
 ]

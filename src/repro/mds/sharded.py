@@ -54,11 +54,12 @@ from ..zk.errors import (
     NodeExistsError,
     NoNodeError,
     NotEmptyError,
+    StaleShardMapError,
     ZKError,
 )
 from ..zk.protocol import ResolveResult, WriteRequest
 from .base import MetadataService
-from .shardmap import ShardMap, parent_dir
+from .shardmap import ShardMap, ShardMapRegistry, parent_dir
 
 #: System area holding cross-shard intent records (hidden from readdir).
 INTENT_ROOT = "/.dufs-intent"
@@ -127,6 +128,47 @@ def apply_intent_to_view(view: Dict[str, bytes],
     return changed
 
 
+def make_route_guard(registry) -> Callable:
+    """Build the per-server hook enforcing the epoch protocol.
+
+    Installed on every ZK server of an elastic deployment
+    (``server.route_guard``). For requests stamped with a shard-map epoch
+    (``map_epoch >= 0``; the migrator's own traffic is unstamped and
+    passes):
+
+    - **writes** under a subtree whose migration is mid-copy bounce with
+      the migration attached — the client parks on its ``done`` event and
+      lands on the new shard after cutover (the brief write redirect);
+    - any request whose stamped epoch would route its path differently
+      under the current map bounces with the new map attached — the
+      client adopts it and re-routes within its retry budget. Requests
+      whose routing is *unchanged* by newer epochs are served: benign
+      staleness never costs a round-trip.
+    """
+    def guard(req) -> None:
+        epoch = req.map_epoch
+        if epoch < 0:
+            return
+        if isinstance(req, WriteRequest):
+            paths = [p for p in (req.path, *(o.path for o in req.ops)) if p]
+            for p in paths:
+                mig = registry.blocking_migration(p)
+                if mig is not None:
+                    raise StaleShardMapError(
+                        p, msg=f"{p} is migrating to shard {mig.dst}",
+                        shard_map=registry.current, migration=mig)
+        else:
+            paths = [req.path]
+        if epoch != registry.epoch:
+            for p in paths:
+                if registry.routing_changed(epoch, p):
+                    raise StaleShardMapError(
+                        p, msg=f"shard map epoch {epoch} superseded "
+                               f"(current {registry.epoch})",
+                        shard_map=registry.current)
+    return guard
+
+
 class ShardedMDS(MetadataService):
     """Namespace service routed across N independent ensembles."""
 
@@ -137,13 +179,18 @@ class ShardedMDS(MetadataService):
         is_dir_payload: Callable[[bytes], bool] = default_is_dir,
         name: Optional[str] = None,
         bus: Optional[TraceBus] = None,
+        registry: Optional[ShardMapRegistry] = None,
     ):
         super().__init__()
         if not clients:
             raise ValueError("need at least one shard client")
         self.clients = list(clients)
         self.n_shards = len(self.clients)
-        self.map = shard_map or ShardMap(self.n_shards)
+        self.registry = registry
+        if registry is not None:
+            self.map = registry.current
+        else:
+            self.map = shard_map or ShardMap(self.n_shards)
         if self.map.n_shards != self.n_shards:
             raise ValueError("shard map size != number of shard clients")
         self.is_dir_payload = is_dir_payload
@@ -154,9 +201,21 @@ class ShardedMDS(MetadataService):
         self._intent_root_ready: set = set()
         self.stats = {"cross_shard_ops": 0, "intents_written": 0,
                       "intents_retired": 0, "anchors_created": 0,
-                      "resolves": 0, "resolve_hops": 0}
+                      "resolves": 0, "resolve_hops": 0,
+                      "stale_map_retries": 0}
+        #: Fired with the list of moved subtree roots when this service
+        #: adopts a new shard-map epoch (mdcache invalidation hook).
+        self.map_change_listeners: List[Callable[[List[str]], None]] = []
+        # Elastic plane only: per-directory op counters feeding the
+        # autoscaler's subtree selection. Gated so the static plane pays
+        # one boolean test per op and allocates nothing.
+        self._track_load = registry is not None
+        self.dir_ops: Dict[str, int] = {}
+        self._stale_retry_limit = 4
         for k, zkc in enumerate(self.clients):
             zkc.shard = k
+            if registry is not None:
+                zkc.map_epoch = self.map.epoch
             zkc.watch_loss_listeners.append(
                 lambda reason, k=k: self._notify_watch_loss(reason, k))
 
@@ -171,16 +230,72 @@ class ShardedMDS(MetadataService):
         return self.clients[shard]
 
     # -- plumbing ----------------------------------------------------------
-    def _call(self, shard: int, method: str, *args, **kwargs) -> Generator:
+    def _call(self, shard: int, method: str, *args,
+              reroute: Optional[Callable[[ShardMap], int]] = None,
+              **kwargs) -> Generator:
         """One sub-operation on a shard client, retries accumulated into
         this service's ``last_retries`` (callers disambiguate retried
-        non-idempotent writes exactly as with a raw ZKClient)."""
-        zkc = self.clients[shard]
-        try:
-            result = yield from getattr(zkc, method)(*args, **kwargs)
-        finally:
-            self._last_retries += zkc.last_retries
-        return result
+        non-idempotent writes exactly as with a raw ZKClient).
+
+        ``reroute(map) -> shard`` recomputes the target after a
+        ``StaleShardMapError``: the server bounced us because our routing
+        epoch is superseded (or the path is under a mid-copy migration),
+        so we adopt the new map, wait out any copy-phase freeze, and
+        re-issue against the freshly computed shard. The bounced attempt
+        never reached the namespace, so the op is still counted once.
+        """
+        attempts = 0
+        while True:
+            zkc = self.clients[shard]
+            try:
+                result = yield from getattr(zkc, method)(*args, **kwargs)
+                return result
+            except StaleShardMapError as exc:
+                attempts += 1
+                if reroute is None or attempts > self._stale_retry_limit:
+                    raise
+                yield from self._on_stale_map(exc)
+                shard = reroute(self.map)
+            finally:
+                self._last_retries += zkc.last_retries
+
+    def _on_stale_map(self, exc: StaleShardMapError) -> Generator:
+        """React to a route-guard bounce: wait for an in-flight migration
+        to cut over (writes to a moving subtree are briefly frozen), then
+        adopt the current map epoch."""
+        self.stats["stale_map_retries"] += 1
+        mig = exc.migration
+        if mig is not None and not mig.done.triggered:
+            yield mig.done
+        new_map = self.registry.current if self.registry is not None \
+            else exc.shard_map
+        if new_map is not None:
+            self._adopt_map(new_map)
+
+    def _adopt_map(self, new_map: ShardMap) -> None:
+        """Switch this service (and its shard clients' request stamps) to
+        a newer epoch; notify cache layers of the moved subtrees."""
+        if new_map.epoch <= self.map.epoch:
+            return
+        old = self.map
+        self.map = new_map
+        for zkc in self.clients:
+            if zkc.map_epoch is not None or self.registry is not None:
+                zkc.map_epoch = new_map.epoch
+        roots = old.diff(new_map)
+        if roots:
+            for fn in self.map_change_listeners:
+                fn(roots)
+
+    def _note_op(self, path: str, listing: bool = False) -> None:
+        """Elastic-gated per-directory load accounting (autoscaler input:
+        which directory's entry set is hot). Listings charge the directory
+        itself; entry ops charge the parent — both route to the same
+        shard, the directory's ``dir_shard``."""
+        if not self._track_load:
+            return
+        d = path if listing or path == "/" else parent_dir(path)
+        self.dir_ops[d] = self.dir_ops.get(d, 0) + 1
 
     @property
     def last_retries(self) -> int:
@@ -205,30 +320,37 @@ class ShardedMDS(MetadataService):
     # -- reads -------------------------------------------------------------
     def get(self, path: str, watch=None) -> Generator:
         self._last_retries = 0
+        self._note_op(path)
         result = yield from self._call(self.map.home_shard(path), "get",
-                                       path, watch=watch)
+                                       path, watch=watch,
+                                       reroute=lambda m: m.home_shard(path))
         return result
 
     def exists(self, path: str, watch=None) -> Generator:
         self._last_retries = 0
+        self._note_op(path)
         result = yield from self._call(self.map.home_shard(path), "exists",
-                                       path, watch=watch)
+                                       path, watch=watch,
+                                       reroute=lambda m: m.home_shard(path))
         return result
 
     def get_children(self, path: str, watch=None) -> Generator:
         self._last_retries = 0
+        self._note_op(path, listing=True)
         child = self.map.child_shard(path)
         home = self.map.home_shard(path)
         try:
-            names = yield from self._call(child, "get_children", path,
-                                          watch=watch)
+            names = yield from self._call(
+                child, "get_children", path, watch=watch,
+                reroute=lambda m: m.child_shard(path))
         except NoNodeError:
             if child == home:
                 raise
             # The child-host copy may be missing (crash residue, or a
             # directory that never hosted an entry); the home copy is
             # authoritative for existence.
-            stat = yield from self._call(home, "exists", path)
+            stat = yield from self._call(home, "exists", path,
+                                         reroute=lambda m: m.home_shard(path))
             if stat is None:
                 raise
             return []
@@ -252,10 +374,12 @@ class ShardedMDS(MetadataService):
         bounded-hop approximation noted in MODEL.md.
         """
         self._last_retries = 0
+        self._note_op(path)
         self.stats["resolves"] += 1
         self.stats["resolve_hops"] += 1
         home = self.map.home_shard(path)
-        res = yield from self._call(home, "resolve", path, watch=watch)
+        res = yield from self._call(home, "resolve", path, watch=watch,
+                                    reroute=lambda m: m.home_shard(path))
         if res.status == "ok" or path == "/":
             return res
         parent = parent_dir(path)
@@ -267,7 +391,8 @@ class ShardedMDS(MetadataService):
         self.stats["resolve_hops"] += 1
         self.bus.mark("mds", self.name, "resolve_hop2",
                       self.clients[0].sim.now)
-        pres = yield from self._call(parent_home, "resolve", parent)
+        pres = yield from self._call(parent_home, "resolve", parent,
+                                     reroute=lambda m: m.home_shard(parent))
         if pres.status == "ok":
             return ResolveResult("miss", path, ancestor=parent,
                                  ancestor_data=pres.data)
@@ -278,6 +403,7 @@ class ShardedMDS(MetadataService):
     def create(self, path: str, data: bytes = b"", ephemeral: bool = False,
                sequential: bool = False) -> Generator:
         self._last_retries = 0
+        self._note_op(path)
         home = self.map.home_shard(path)
         if self.is_dir_payload(data):
             child = self.map.child_shard(path)
@@ -286,39 +412,49 @@ class ShardedMDS(MetadataService):
                 # invisible anchor (retried create tolerates it), never a
                 # stat-able directory whose entries cannot be created.
                 yield from self._ensure_child_anchor(child, path, data)
+                home = self.map.home_shard(path)  # anchor may have adopted
         result = yield from self._call(home, "create", path, data,
                                        ephemeral=ephemeral,
-                                       sequential=sequential)
+                                       sequential=sequential,
+                                       reroute=lambda m: m.home_shard(path))
         return result
 
     def set_data(self, path: str, data: bytes, version: int = -1) -> Generator:
         self._last_retries = 0
+        self._note_op(path)
         result = yield from self._call(self.map.home_shard(path), "set_data",
-                                       path, data, version=version)
+                                       path, data, version=version,
+                                       reroute=lambda m: m.home_shard(path))
         return result
 
     def delete(self, path: str, version: int = -1,
                is_dir: Optional[bool] = None) -> Generator:
         self._last_retries = 0
+        self._note_op(path)
         home = self.map.home_shard(path)
         if is_dir is None and self.n_shards > 1:
             # No routing hint: one read classifies (only generic callers).
             try:
-                data, _ = yield from self._call(home, "get", path)
+                data, _ = yield from self._call(
+                    home, "get", path, reroute=lambda m: m.home_shard(path))
                 is_dir = self.is_dir_payload(data)
             except NoNodeError:
                 is_dir = False
+            home = self.map.home_shard(path)  # the get may have adopted
         if is_dir:
             child = self.map.child_shard(path)
             if child != home:
                 # Child-host copy first: it holds the real entries, so
                 # this is where POSIX emptiness (NotEmpty) is enforced.
                 try:
-                    yield from self._call(child, "delete", path,
-                                          version=-1)
+                    yield from self._call(
+                        child, "delete", path, version=-1,
+                        reroute=lambda m: m.child_shard(path))
                 except NoNodeError:
                     pass
-        result = yield from self._call(home, "delete", path, version=version)
+                home = self.map.home_shard(path)
+        result = yield from self._call(home, "delete", path, version=version,
+                                       reroute=lambda m: m.home_shard(path))
         return result
 
     def sync(self, path: str = "/") -> Generator:
@@ -332,8 +468,9 @@ class ShardedMDS(MetadataService):
                              data: bytes) -> Generator:
         """Create the child-host copy of directory ``path`` on ``shard``,
         building placeholder ancestors on demand."""
+        rr = lambda m: m.child_shard(path)  # noqa: E731 - route recompute
         try:
-            yield from self._call(shard, "create", path, data)
+            yield from self._call(shard, "create", path, data, reroute=rr)
             return
         except NodeExistsError:
             return
@@ -344,16 +481,20 @@ class ShardedMDS(MetadataService):
         # racing rmdir still surfaces as ENOENT, then build placeholders.
         parent = parent_dir(path)
         stat = yield from self._call(self.map.home_shard(parent), "exists",
-                                     parent)
+                                     parent,
+                                     reroute=lambda m: m.home_shard(parent))
         if stat is None:
             raise NoNodeError(path)
-        yield from self._ensure_dir_chain(shard, parent)
+        yield from self._ensure_dir_chain(self.map.child_shard(path), parent,
+                                          reroute=rr)
         try:
-            yield from self._call(shard, "create", path, data)
+            yield from self._call(self.map.child_shard(path), "create",
+                                  path, data, reroute=rr)
         except NodeExistsError:
             pass
 
-    def _ensure_dir_chain(self, shard: int, dirpath: str) -> Generator:
+    def _ensure_dir_chain(self, shard: int, dirpath: str,
+                          reroute=None) -> Generator:
         """mkdir -p of placeholder anchors for ``dirpath`` on ``shard``."""
         if dirpath == "/":
             return
@@ -362,7 +503,7 @@ class ShardedMDS(MetadataService):
             prefix = f"{prefix}/{comp}"
             try:
                 yield from self._call(shard, "create", prefix,
-                                      PLACEHOLDER_DIR_DATA)
+                                      PLACEHOLDER_DIR_DATA, reroute=reroute)
                 self.stats["anchors_created"] += 1
             except NodeExistsError:
                 pass
@@ -428,7 +569,8 @@ class ShardedMDS(MetadataService):
                 try:
                     names = yield from self._call(
                         self.map.child_shard(op.path), "get_children",
-                        op.path)
+                        op.path,
+                        reroute=lambda m, p=op.path: m.child_shard(p))
                 except NoNodeError:
                     continue  # no child-host copy: nothing underneath
                 if names:
@@ -452,7 +594,8 @@ class ShardedMDS(MetadataService):
             self._intent_root_ready.add(source)
         self._intent_seq += 1
         path = f"{INTENT_ROOT}/{self.name}-{self._intent_seq}"
-        yield from self._call(source, "create", path, encode_intent(steps))
+        yield from self._call(source, "create", path, encode_intent(steps),
+                              reroute=lambda m: m.home_shard(path))
         self.stats["intents_written"] += 1
         return path
 
@@ -464,15 +607,17 @@ class ShardedMDS(MetadataService):
                 yield from self._apply_absent(step[1])
 
     def _apply_ensure(self, path: str, data: bytes) -> Generator:
+        rr = lambda m: m.home_shard(path)  # noqa: E731 - route recompute
         home = self.map.home_shard(path)
         if self.is_dir_payload(data):
             child = self.map.child_shard(path)
             if child != home:
                 yield from self._ensure_child_anchor(child, path, data)
+                home = self.map.home_shard(path)
         try:
-            yield from self._call(home, "create", path, data)
+            yield from self._call(home, "create", path, data, reroute=rr)
         except NodeExistsError:
-            yield from self._call(home, "set_data", path, data)
+            yield from self._call(home, "set_data", path, data, reroute=rr)
 
     def _apply_absent(self, path: str) -> Generator:
         home = self.map.home_shard(path)
@@ -481,10 +626,12 @@ class ShardedMDS(MetadataService):
             # Covers the directory child-host copy; for files the child
             # shard simply holds nothing (tolerated).
             try:
-                yield from self._call(child, "delete", path)
+                yield from self._call(child, "delete", path,
+                                      reroute=lambda m: m.child_shard(path))
             except NoNodeError:
                 pass
         try:
-            yield from self._call(home, "delete", path)
+            yield from self._call(self.map.home_shard(path), "delete", path,
+                                  reroute=lambda m: m.home_shard(path))
         except NoNodeError:
             pass

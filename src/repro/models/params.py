@@ -363,6 +363,47 @@ class ResolveParams:
 
 
 @dataclass
+class ElasticParams:
+    """Elastic metadata plane: epoch-versioned shard map, load-driven
+    split/merge, live subtree migration (:mod:`repro.mds.autoscaler`).
+
+    Off by default — the static plane is byte-identical to the pre-elastic
+    model: no registry, no route guards, no request stamping, no load
+    accounting. ``elastic_on()`` is the standard bench/chaos preset.
+
+    The server-budget framing: shard count is fixed at deployment (equal
+    hardware across all compared layouts); the autoscaler spends only
+    routing state — subtree pins, capped at ``max_pins`` — moved live by
+    the migrator.
+    """
+
+    enabled: bool = False
+    autoscale: bool = True             # spawn the control loop (False:
+    #                                    registry/migrator only — manual
+    #                                    migrations, e.g. chaos scripts)
+    interval: float = 0.1              # control-loop period (s)
+    window: float = 0.25               # TraceBus op-rate window (s)
+    hot_factor: float = 1.6            # hot: rate > hot_factor * mean
+    cold_factor: float = 0.6           # cold: rate < cold_factor * mean
+    hysteresis: int = 2                # consecutive hot/cold ticks to act
+    cooldown: float = 0.4              # min seconds between moves of a root
+    max_pins: int = 8                  # pin-table budget (server budget)
+    min_window_ops: int = 40           # ignore windows below this total
+    #                                    rate (ops/s): near-idle, no signal
+    merge_min_ops: int = 4             # unpin when subtree rate (ops/s)
+    #                                    stays below this
+    moves_per_tick: int = 2            # migration rate limit per interval
+    drain: float = 0.05                # freeze->copy drain for in-flight writes
+
+    @classmethod
+    def elastic_on(cls, **overrides) -> "ElasticParams":
+        """The standard elastic policy used by benchmarks and chaos."""
+        base = dict(enabled=True)
+        base.update(overrides)
+        return cls(**base)
+
+
+@dataclass
 class SimParams:
     """Bundle of every model, plus testbed-level knobs."""
 
@@ -375,6 +416,7 @@ class SimParams:
     cache: CacheParams = field(default_factory=CacheParams)
     resilience: ResilienceParams = field(default_factory=ResilienceParams)
     resolve: ResolveParams = field(default_factory=ResolveParams)
+    elastic: ElasticParams = field(default_factory=ElasticParams)
 
     node_cores: int = 8                # dual Xeon E5335
     client_op_cpu: float = 18e-6       # mdtest/app-side cost per op

@@ -21,8 +21,9 @@ figure suite, whose traces are pinned byte-for-byte.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..sim.stats import Counter, Histogram, LatencyRecorder
 
@@ -88,6 +89,10 @@ class TraceBus:
         self._subscribers: List[Callable[[OpTrace], None]] = []
         self.sample = int(sample)
         self._seen = 0                  # records since construction (all keys)
+        # Rolling-window per-shard op rates (elastic autoscaler signal):
+        # off by default — the hot path pays one is-None test.
+        self._shard_win: Optional[float] = None
+        self._shard_events: Dict[Tuple[str, int], deque] = {}
 
     # -- recording ---------------------------------------------------------
     def record(self, ev: OpTrace, key: Optional[str] = None) -> None:
@@ -103,6 +108,8 @@ class TraceBus:
             self.retries.inc(key, ev.retries)
         if ev.shard:
             self.shard_of[key] = ev.shard
+        if self._shard_win is not None:
+            self._shard_note(ev)
         self._seen = seen = self._seen + 1
         if self.sample > 1 and seen % self.sample:
             return
@@ -133,6 +140,52 @@ class TraceBus:
 
     def subscribe(self, fn: Callable[[OpTrace], None]) -> None:
         self._subscribers.append(fn)
+
+    # -- windowed per-shard rates -------------------------------------------
+    def enable_shard_window(self, window: float) -> None:
+        """Start keeping rolling-window per-``(deployment, shard)`` op
+        timestamps so :meth:`shard_window_rates` can answer "how hot is
+        each shard *right now*" — the elastic autoscaler's input signal.
+        Counters-only bookkeeping (no simulator events), and exact even
+        under ``sample=N`` thinning."""
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self._shard_win = float(window)
+
+    def _shard_note(self, ev: OpTrace) -> None:
+        dq = self._shard_events.get((ev.deployment, ev.shard))
+        if dq is None:
+            dq = self._shard_events[(ev.deployment, ev.shard)] = deque()
+        dq.append(ev.end)
+        lo = ev.end - self._shard_win
+        while dq and dq[0] < lo:
+            dq.popleft()
+
+    def shard_window_rates(self, now: Optional[float] = None,
+                           deployment: Optional[str] = None,
+                           window: Optional[float] = None
+                           ) -> Dict[int, float]:
+        """Ops/sec per shard over the trailing window, at ``now`` (default:
+        each stream's latest completion). ``deployment`` filters the
+        streams (e.g. ``"zk"``); without it, same-shard streams sum.
+        ``window`` narrows the averaging span below the retention window
+        set by :meth:`enable_shard_window` (it cannot widen it — older
+        timestamps are already gone)."""
+        if self._shard_win is None:
+            return {}
+        w = self._shard_win if window is None \
+            else max(1e-9, min(window, self._shard_win))
+        out: Dict[int, float] = {}
+        for (dep, shard), dq in self._shard_events.items():
+            if deployment is not None and dep != deployment:
+                continue
+            if not dq:
+                continue
+            t = now if now is not None else dq[-1]
+            lo = t - w
+            n = sum(1 for x in dq if lo <= x <= t)
+            out[shard] = out.get(shard, 0.0) + n / w
+        return out
 
     # -- export ------------------------------------------------------------
     def keys(self) -> List[str]:

@@ -73,6 +73,11 @@ class ZKClient:
         self.session: Optional[int] = None
         self.last_retries = 0       # retries performed by the last request
         self.shard = 0              # metadata shard this client talks to
+        # Elastic plane: when set (by ShardedMDS under a live registry),
+        # every read/write is stamped with this shard-map epoch so the
+        # server-side route guard can bounce requests that routed by a
+        # superseded map. None (the default) leaves requests unstamped.
+        self.map_epoch: Optional[int] = None
         self.bus = bus if bus is not None else NULL_BUS
         ident = name or f"zkcli{next(_client_seq)}"
         self._backoff_stream = f"zk.client.{ident}"
@@ -149,6 +154,10 @@ class ZKClient:
         f = self.fault
         r = self.resilience
         t0 = self.sim.now
+        if (self.map_epoch is not None
+                and isinstance(args, (ReadRequest, WriteRequest))
+                and args.map_epoch < 0):
+            args = dataclasses.replace(args, map_epoch=self.map_epoch)
         # Sync the policy with any post-construction knob changes (tests
         # and the chaos runner tweak max_retries/fault in place).
         policy = self.retry

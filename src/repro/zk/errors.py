@@ -47,5 +47,23 @@ class NotLeaderError(ZKError):
     code = -900
 
 
+class StaleShardMapError(ZKError):
+    """Internal: the request was stamped with a shard-map epoch that no
+    longer routes its path correctly, or the path is under a subtree whose
+    migration is mid-copy. Carries the new map (and the in-flight
+    migration, if any) so the client can adopt and re-route without a
+    round-trip to a coordinator. Deliberately *not* in ``ZKClient``'s
+    retryable set — the shard client would retry against the same wrong
+    shard; ``ShardedMDS`` handles it by re-routing."""
+
+    code = -901
+
+    def __init__(self, path: str = "", msg: str = "", shard_map=None,
+                 migration=None):
+        super().__init__(path, msg)
+        self.shard_map = shard_map
+        self.migration = migration
+
+
 class BadArgumentsError(ZKError):
     code = -8

@@ -25,6 +25,8 @@ class ReadRequest:
     path: str
     session: int = 0
     watch: bool = False
+    map_epoch: int = -1        # shard-map epoch the caller routed by
+    #                            (-1: unstamped — not elastic-routed)
 
 
 @dataclass(frozen=True)
@@ -63,6 +65,8 @@ class WriteRequest:
     sequential: bool = False
     ops: Tuple = ()            # for multi: tuple of WriteRequest
     session: int = 0
+    map_epoch: int = -1        # shard-map epoch the caller routed by
+    #                            (-1: unstamped — not elastic-routed)
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
 
 from ..core.paths import ancestors
 from ..models.params import ZKParams
@@ -155,6 +155,12 @@ class ZKServer:
         self.stats = {"reads": 0, "writes": 0, "proposals": 0, "commits": 0,
                       "forwards": 0, "elections": 0, "gap_resyncs": 0,
                       "resolves": 0, "dentry_hits": 0, "dentry_misses": 0}
+
+        # Elastic metadata plane (off by default): a deployment-shared hook
+        # rejecting requests whose shard-map epoch no longer routes their
+        # path here, or whose path is under a mid-copy subtree migration.
+        # None means no check at all — the static plane pays nothing.
+        self.route_guard: Optional[Callable] = None
 
         from ..svc.queue import make_policy
         self.svc = Service(node, self.endpoint, deployment="zk", bus=bus,
@@ -313,6 +319,8 @@ class ZKServer:
         yield from self.node.cpu_work(self.params.read_cpu)
         if self.role == LOOKING:
             raise ConnectionLossError(msg=f"zk{self.sid} is electing")
+        if self.route_guard is not None:
+            self.route_guard(req)
         self.stats["reads"] += 1
         p = self.params
         if req.op == "exists":
@@ -398,6 +406,8 @@ class ZKServer:
                 self._dentries.popitem(last=False)
 
     def _h_write(self, src: str, req: WriteRequest) -> Generator:
+        if self.route_guard is not None:
+            self.route_guard(req)
         if (self.params.session_tracking and req.op == "create"
                 and req.ephemeral and req.session
                 and req.session not in self.sessions):
@@ -417,9 +427,22 @@ class ZKServer:
         if self.role == FOLLOWING and self.leader_sid is not None:
             self.stats["forwards"] += 1
             yield from self.node.cpu_work(self.params.forward_cpu)
-            result = yield from self.agent.call(
-                self.peers[self.leader_sid], "fwd_write", req,
+            lead = self.leader_sid  # may have changed while queued
+            if self.role != FOLLOWING or lead is None:
+                raise ConnectionLossError(
+                    msg=f"zk{self.sid} lost its leader while forwarding")
+            zxid, result = yield from self.agent.call(
+                self.peers[lead], "fwd_write", req,
                 size=self._req_size(req), timeout=5.0)
+            # Read-your-writes (the ZooKeeper session guarantee): the
+            # client's next read lands on *this* replica, so don't
+            # acknowledge the write until it is applied here. The
+            # leader's reply can beat the COMMIT broadcast when the
+            # pipeline queues — answering early lets a create..stat pair
+            # on the same session miss its own file. A membership change
+            # voids the session binding, so stop holding the ack then.
+            while self.commit_index < zxid and self.role == FOLLOWING:
+                yield self.sim.timeout(self.params.log_delay)
             return result
         raise ConnectionLossError(msg=f"zk{self.sid} has no leader")
 
@@ -427,7 +450,15 @@ class ZKServer:
         if self.role != LEADING:
             raise NotLeaderError(msg=f"zk{self.sid} is not the leader")
         yield from self.node.cpu_work(self.params.forward_cpu)
-        return self.commit_index
+        return self._pipeline_horizon()
+
+    def _pipeline_horizon(self) -> int:
+        """The zxid a sync must wait for: the newest *sequenced* write,
+        committed or not. A write is durable-in-order the moment its zxid
+        is assigned, so a barrier that stopped at ``commit_index`` would
+        run ahead of proposals still collecting acks."""
+        return max(self.outstanding) if self.outstanding \
+            else self.commit_index
 
     def _h_sync(self, src: str, path: str) -> Generator:
         """Flush the leader pipeline to this replica (zoo_sync): after it
@@ -437,7 +468,7 @@ class ZKServer:
         if self.role == LOOKING:
             raise ConnectionLossError(msg=f"zk{self.sid} is electing")
         if self.role == LEADING:
-            horizon = self.commit_index
+            horizon = self._pipeline_horizon()
         else:
             horizon = yield from self.agent.call(
                 self.peers[self.leader_sid], "commit_index", None,
@@ -447,9 +478,12 @@ class ZKServer:
         return self.commit_index
 
     def _h_fwd_write(self, src: str, req: WriteRequest) -> Generator:
+        """Leader side of follower forwarding. Replies ``(zxid, result)``
+        so the follower can hold its client's ack until the commit is
+        applied locally (see ``_route_write``)."""
         if self.role != LEADING:
             raise NotLeaderError(msg=f"zk{self.sid} is not the leader")
-        result = yield from self._process_write(req)
+        result = yield from self._process_write(req, with_zxid=True)
         return result
 
     def _req_size(self, req: WriteRequest) -> int:
@@ -571,7 +605,8 @@ class ZKServer:
         self.zxid_counter += 1
         return (self.epoch << 32) | self.zxid_counter
 
-    def _process_write(self, req: WriteRequest) -> Generator:
+    def _process_write(self, req: WriteRequest,
+                       with_zxid: bool = False) -> Generator:
         if not self.activated:
             raise ConnectionLossError(msg=f"zk{self.sid} leader not activated")
         p = self.params
@@ -590,6 +625,14 @@ class ZKServer:
                 + n_obs * p.write_per_follower_cpu * 0.5)
         if self.role != LEADING:  # demoted while queued for CPU
             raise NotLeaderError(msg=f"zk{self.sid} lost leadership")
+        if self.route_guard is not None:
+            # Re-check at the sequencing point: the admission-time check
+            # ran before this request queued for the leader's CPU, and
+            # the elastic plane may have frozen or re-routed the subtree
+            # while it waited. Bouncing here (atomically with zxid
+            # assignment) is what makes a migration freeze airtight — no
+            # write under a frozen root can ever be sequenced after it.
+            self.route_guard(req)
         # ---- atomic section: validate + speculative apply + sequence ----
         txn, result = self._validate(req)  # raises ZKError to caller
         zxid = self._next_zxid()
@@ -603,7 +646,7 @@ class ZKServer:
         if batching:
             self._proposer.submit((zxid, txn, self._req_size(req)))
             yield out.done
-            return result
+            return (zxid, result) if with_zxid else result
         prop = Propose(zxid, txn, self.epoch)
         psize = p.proposal_base_size + self._req_size(req)
         for sid in self.active_followers:
@@ -615,7 +658,7 @@ class ZKServer:
         # self-ack goes through the group-committed logger
         self._logger.submit(("self_ack", zxid))
         yield out.done
-        return result
+        return (zxid, result) if with_zxid else result
 
     def _flush_proposals(self, batch: List[tuple]) -> Generator:
         """Proposer pipeline flush (``propose_batch_max > 1``): stream one
