@@ -11,6 +11,7 @@ per-suite ``check_*_regression.py`` copies)::
     PYTHONPATH=src python scripts/check_regression.py --suite resolve
     PYTHONPATH=src python scripts/check_regression.py --suite kernel
     PYTHONPATH=src python scripts/check_regression.py --suite elastic
+    PYTHONPATH=src python scripts/check_regression.py --suite async
         [--baseline PATH] [--tolerance 0.25]
 
 Each suite reruns its benchmark at the scale/seed recorded in the
@@ -19,7 +20,7 @@ suite's ``check_*`` function reports regressions: any throughput more
 than the tolerance (default 25%) below baseline, or an acceptance floor
 no longer met (2x cache speedup, 1.5x shard scaling, 1.5x resilience
 goodput, 3x resolve deep-stat, the kernel events/sec floor, 1.3x elastic
-speedup over the best static layout). Simulated
+speedup over the best static layout, 2x async file-create speedup). Simulated
 throughput is deterministic for a given seed, so any drift is a real
 behavioural change in the model, not runner noise. The ``kernel`` suite
 is the exception: it measures *wall-clock* events/sec, so it normalizes
@@ -43,18 +44,21 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from repro.bench import (
+    check_async_regression,
     check_elastic_regression,
     check_kernel_regression,
     check_regression,
     check_resilience_regression,
     check_resolve_regression,
     check_shard_regression,
+    render_async_ablation,
     render_cache_ablation,
     render_elastic_bench,
     render_kernel_bench,
     render_resilience_overload,
     render_resolve_ablation,
     render_shard_scaling,
+    run_async_ablation,
     run_cache_ablation,
     run_elastic_bench,
     run_kernel_bench,
@@ -90,6 +94,14 @@ def _scale_seed_runner(run):
 
 
 SUITES: Dict[str, Suite] = {
+    "async": Suite(
+        baseline="BENCH_async.json",
+        run=_scale_seed_runner(run_async_ablation),
+        render=render_async_ablation,
+        check=check_async_regression,
+        refresh="python -m repro bench --async-writes "
+                "--json benchmarks/BENCH_async.json",
+        ok="2x async file-create floor met"),
     "mdcache": Suite(
         baseline="BENCH_mdcache.json",
         run=_scale_seed_runner(run_cache_ablation),

@@ -1,5 +1,11 @@
 """Benchmark harnesses regenerating every figure of the paper's evaluation."""
 
+from .async_bench import (
+    check_async_regression,
+    render_async_ablation,
+    run_async_ablation,
+    write_async_bench_json,
+)
 from .cache_bench import (
     check_regression,
     render_cache_ablation,
@@ -73,6 +79,8 @@ __all__ = [
     "write_kernel_bench_json", "check_kernel_regression",
     "run_elastic_bench", "render_elastic_bench",
     "write_elastic_bench_json", "check_elastic_regression",
+    "run_async_ablation", "render_async_ablation",
+    "write_async_bench_json", "check_async_regression",
     "run_shardmap", "run_shardmap_demo", "render_shardmap",
     "run_profile", "profile_targets",
 ]

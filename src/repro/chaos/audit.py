@@ -33,6 +33,15 @@ under current-map authority the merged view is already complete on both
 sides of a torn migration's cutover, so the roll-forward retires the
 marker and counts one repair.
 
+Write-behind clients (``AsyncParams.enabled``) complicate the diff in a
+well-defined way: an op the client acked but never committed (node crash
+mid-drain, or the run window closing with the log non-empty) leaves
+residue — a lost file create left an unreferenced physical file, a lost
+delete left a znode mapping to an already-unlinked file. The auditor
+matches each such residue against the clients' :meth:`lost_ops` windows
+and counts it as ``AuditReport.lost_unacked`` instead of a violation:
+bounded loss is the mode's contract, damage is not.
+
 The report is machine-readable (:meth:`AuditReport.to_dict`) and
 deterministic: violations are sorted, so two runs with the same seed and
 schedule produce byte-identical reports.
@@ -67,6 +76,10 @@ class AuditReport:
     checked_files: int = 0
     violations: List[Violation] = field(default_factory=list)
     repairs: int = 0        # intent-record steps rolled forward (sharded)
+    # Write-behind residue that is bounded loss, not damage: physical
+    # files of acked-but-uncommitted creates and znodes of acked-but-
+    # uncommitted deletes, matched against the clients' lost-op windows.
+    lost_unacked: int = 0
 
     @property
     def ok(self) -> bool:
@@ -81,6 +94,7 @@ class AuditReport:
             "checked_znodes": self.checked_znodes,
             "checked_files": self.checked_files,
             "repairs": self.repairs,
+            "lost_unacked": self.lost_unacked,
             "violations": [
                 {"kind": v.kind, "path": v.path, "detail": v.detail}
                 for v in sorted(self.violations,
@@ -90,8 +104,10 @@ class AuditReport:
 
     def to_text(self) -> str:
         repaired = f", {self.repairs} intent repairs" if self.repairs else ""
+        lost = f", {self.lost_unacked} lost-unacked (write-behind window)" \
+            if self.lost_unacked else ""
         lines = [f"audit: {self.checked_znodes} znodes, "
-                 f"{self.checked_files} physical files{repaired} -> "
+                 f"{self.checked_files} physical files{repaired}{lost} -> "
                  f"{'CLEAN' if self.ok else f'{len(self.violations)} violations'}"]
         for v in sorted(self.violations,
                         key=lambda v: (v.kind, v.path, v.detail)):
@@ -277,6 +293,26 @@ def audit_dufs(deployment, store: Optional[ZnodeStore] = None) -> AuditReport:
         backend = mapping.backend_for(fid)
         expected[(backend, physical_path(fid, layout))] = path
 
+    # Write-behind residue: ops a client acked but never committed (its
+    # node crashed mid-drain, or the run window closed with the log
+    # non-empty). A lost file *create* already wrote its physical file —
+    # the back-end holds an unreferenced FID; a lost *delete* already
+    # unlinked the physical file — the znode still maps to nothing. Both
+    # are the mode's advertised bounded loss, not namespace damage.
+    lost_create_keys: Dict[Tuple[int, str], str] = {}
+    lost_delete_paths: Set[str] = set()
+    for cli in deployment.clients:
+        wblog = getattr(cli, "wblog", None)
+        if wblog is None:
+            continue
+        for op in wblog.lost_ops():
+            if op.kind == "create" and isinstance(op.payload, FilePayload):
+                fid = op.payload.fid
+                lost_create_keys[(mapping.backend_for(fid),
+                                  physical_path(fid, layout))] = op.path
+            elif op.kind == "delete" and not op.is_dir:
+                lost_delete_paths.add(op.path)
+
     # Pass 2: enumerate back-end files and diff both directions.
     actual: Set[Tuple[int, str]] = set()
     for i, backend_fs in enumerate(deployment.backends):
@@ -286,10 +322,16 @@ def audit_dufs(deployment, store: Optional[ZnodeStore] = None) -> AuditReport:
 
     for key in sorted(expected.keys() - actual):
         backend, ppath = key
+        if expected[key] in lost_delete_paths:
+            report.lost_unacked += 1
+            continue
         report.violations.append(Violation(
             "dangling-mapping", expected[key],
             f"no physical file {ppath} on back-end {backend}"))
     for backend, ppath in sorted(actual - expected.keys()):
+        if (backend, ppath) in lost_create_keys:
+            report.lost_unacked += 1
+            continue
         report.violations.append(Violation(
             "orphan-fid", ppath,
             f"back-end {backend} file not referenced by any znode"))

@@ -33,9 +33,9 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from ..errors import FSError
-from ..models.params import (CacheParams, ElasticParams, LustreParams,
-                             PVFSParams, ResilienceParams, SimParams,
-                             ZKParams)
+from ..models.params import (AsyncParams, CacheParams, ElasticParams,
+                             LustreParams, PVFSParams, ResilienceParams,
+                             SimParams, ZKParams)
 from ..sim.node import Cluster
 from .audit import AuditReport, audit_dufs
 from .engine import ChaosEngine
@@ -103,7 +103,8 @@ def default_schedule(deployment: str, duration: float,
 def _build_dufs(seed: int, cache: Optional[CacheParams] = None,
                 shards: int = 1,
                 resilience: Optional[ResilienceParams] = None,
-                elastic: Optional[ElasticParams] = None):
+                elastic: Optional[ElasticParams] = None,
+                awrite: Optional[AsyncParams] = None):
     from ..core import build_dufs_deployment
 
     params = SimParams()
@@ -118,7 +119,8 @@ def _build_dufs(seed: int, cache: Optional[CacheParams] = None,
                                 co_locate_zk=False, seed=seed,
                                 zk_request_timeout=0.4, zk_max_retries=10,
                                 cache=cache, n_shards=shards,
-                                resilience=resilience, autoscale=elastic)
+                                resilience=resilience, autoscale=elastic,
+                                awrite=awrite)
     flat_servers = [s for ens in dep.ensembles for s in ens.servers]
 
     def resolve(symbol: str):
@@ -221,6 +223,7 @@ def run_chaos(
     shards: int = 1,
     resilience: Optional[ResilienceParams] = None,
     elastic: Optional[ElasticParams] = None,
+    awrite: Optional[AsyncParams] = None,
 ) -> ChaosRunResult:
     """One chaos experiment: op stream + schedule replay + (DUFS) audit.
 
@@ -238,7 +241,10 @@ def run_chaos(
     campaign can prove hedging and fast-fails never corrupt the namespace.
     ``elastic`` (DUFS only, needs ``shards >= 2``) runs the elastic
     metadata plane and unlocks the ``migration:src`` / ``migration:dst``
-    targets for crash-during-migration experiments.
+    targets for crash-during-migration experiments. ``awrite`` (DUFS
+    only) runs the clients in write-behind mode — the audit then proves
+    crash losses stay confined to the acked-but-uncommitted window
+    (counted as ``lost_unacked``, never as namespace damage).
     """
     if deployment not in DEPLOYMENTS:
         raise ValueError(f"unknown deployment {deployment!r}")
@@ -250,9 +256,12 @@ def run_chaos(
         raise ValueError("resilience is a DUFS-only option")
     if elastic is not None and deployment != "dufs":
         raise ValueError("elastic is a DUFS-only option")
+    if awrite is not None and deployment != "dufs":
+        raise ValueError("awrite is a DUFS-only option")
     builder = _BUILDERS[deployment]
     built = builder(seed, cache=cache, shards=shards,
-                    resilience=resilience, elastic=elastic) \
+                    resilience=resilience, elastic=elastic,
+                    awrite=awrite) \
         if deployment == "dufs" else builder(seed)
     cluster, dep, client, node, resolve, apply_backend = built
     duration = ops * op_interval

@@ -15,6 +15,8 @@ Usage::
                                             # client vs fat-client VFS walk
     python -m repro bench --kernel          # simulator events/sec bench
                                             # (the hot-path speed gate)
+    python -m repro bench --async           # write-behind ablation: async
+                                            # acked updates vs sync commits
     python -m repro bench --elastic         # elastic-vs-static arms on the
                                             # skewed shifting-hotspot load
     python -m repro shardmap [--json -]     # elastic plane state dump: map,
@@ -124,6 +126,14 @@ def main(argv=None) -> int:
                              "the best static layouts on a skewed, "
                              "shifting hotspot); chaos: run the elastic "
                              "plane (needs --shards >= 2)")
+    parser.add_argument("--async", dest="async_writes", action="store_true",
+                        help="bench: run the write-behind ablation "
+                             "(asynchronous metadata updates vs the "
+                             "synchronous quorum-committed client) on the "
+                             "mdtest file phases; chaos: run the DUFS "
+                             "clients in write-behind mode")
+    parser.add_argument("--async-writes", dest="async_writes",
+                        action="store_true", help=argparse.SUPPRESS)
     parser.add_argument("--top", type=int, default=25,
                         help="profile: how many hot-path rows to print")
     parser.add_argument("--sort", default="tottime",
@@ -156,12 +166,17 @@ def main(argv=None) -> int:
     for target in targets:
         if target == "chaos":
             from .chaos import run_chaos
-            from .models.params import (CacheParams, ElasticParams,
-                                        ResilienceParams)
+            from .models.params import (AsyncParams, CacheParams,
+                                        ElasticParams, ResilienceParams)
             cache = CacheParams.caching_on() \
                 if args.cache and args.deployment == "dufs" else None
             resilience = ResilienceParams.resilience_on(hedge_enabled=True) \
                 if args.resilience and args.deployment == "dufs" else None
+            awrite = None
+            if args.async_writes:
+                if args.deployment != "dufs":
+                    parser.error("chaos --async needs the DUFS deployment")
+                awrite = AsyncParams.async_on()
             n_shards = shard_counts[0] if shard_counts else 1
             elastic = None
             if args.elastic:
@@ -171,7 +186,8 @@ def main(argv=None) -> int:
                 elastic = ElasticParams.elastic_on()
             result = run_chaos(args.deployment, seed=args.seed, ops=args.ops,
                                cache=cache, shards=n_shards,
-                               resilience=resilience, elastic=elastic)
+                               resilience=resilience, elastic=elastic,
+                               awrite=awrite)
             print(result.summary())
         elif target == "trace":
             from .bench.trace_cli import run_trace
@@ -195,6 +211,13 @@ def main(argv=None) -> int:
             from .bench import run_shardmap
             print(run_shardmap(scale=args.scale, seed=args.seed,
                                json_path=args.json))
+        elif target == "bench" and args.async_writes:
+            from .bench import (render_async_ablation, run_async_ablation,
+                                write_async_bench_json)
+            doc = run_async_ablation(scale=args.scale, seed=args.seed)
+            print(render_async_ablation(doc))
+            if args.json:
+                print(f"[json] {write_async_bench_json(doc, args.json)}")
         elif target == "bench" and args.elastic:
             from .bench import (render_elastic_bench, run_elastic_bench,
                                 write_elastic_bench_json)

@@ -34,6 +34,7 @@ _EXPORTS = {
     "MDCache": ".mdcache", "aggregate_counters": ".mdcache",
     "DirPayload": ".metadata", "FilePayload": ".metadata",
     "SymlinkPayload": ".metadata", "decode_payload": ".metadata",
+    "PendingOp": ".wblog", "WriteBehindLog": ".wblog",
     "Relocation": ".rebalance", "attach_backend": ".rebalance",
     "collect_files": ".rebalance", "migrate": ".rebalance",
     "plan_relocations": ".rebalance", "rebalance_after_add": ".rebalance",

@@ -32,7 +32,8 @@ from ..errors import (
     ENOTEMPTY,
     FSError,
 )
-from ..models.params import CacheParams, DUFSParams, ResolveParams
+from ..models.params import (AsyncParams, CacheParams, DUFSParams,
+                             ResolveParams)
 from ..pfs.base import (
     DEFAULT_DIR_MODE,
     S_IFDIR,
@@ -63,6 +64,7 @@ from .metadata import (
     decode_payload,
 )
 from .paths import ancestors, parent_dir
+from .wblog import PendingOp, WriteBehindLog
 
 
 def _map_zk_error(exc: ZKError, path: str) -> FSError:
@@ -93,6 +95,7 @@ class DUFSClient:
         bus=None,
         name: Optional[str] = None,
         resolve: Optional[ResolveParams] = None,
+        awrite: Optional[AsyncParams] = None,
     ):
         if not backends:
             raise ValueError("DUFS needs at least one back-end mount")
@@ -139,6 +142,18 @@ class DUFSClient:
                                client_stats=self.stats, bus=bus,
                                endpoint=name or "dufs-client",
                                dcache_capacity=self.resolve.dcache_capacity)
+        # Write-behind metadata updates. Constructed ONLY when enabled:
+        # the log spawns a drain process at construction, and async-off
+        # deployments must replay byte-identical to pre-async builds.
+        self.awrite = awrite or AsyncParams()
+        self.wblog: Optional[WriteBehindLog] = None
+        if self.awrite.enabled:
+            self.wblog = WriteBehindLog(node, self.zk, self.mdcache,
+                                        params=self.awrite,
+                                        verify=self._async_verify,
+                                        on_error=self._on_async_error,
+                                        bus=bus,
+                                        endpoint=name or "dufs-client")
 
     # -- internals ------------------------------------------------------------
     def _logic(self, *costs: float) -> Generator:
@@ -273,6 +288,76 @@ class DUFSClient:
             raise FSError(ENOTDIR, path)
         self.mdcache.note_dir(parent)
 
+    # -- write-behind (async metadata updates) -------------------------------
+    def _async_verify(self, op: PendingOp, exc: ZKError) -> Generator:
+        """Disambiguate a drained op's rejection under at-least-once RPC
+        semantics (the async twin of the inline checks in
+        :meth:`create`/:meth:`unlink`): True = the post-condition holds,
+        count the op as committed."""
+        if op.kind == "delete" and isinstance(exc, NoNodeError):
+            # A retried delete whose first attempt landed: target gone,
+            # which is the post-condition we wanted.
+            return self.zk.last_retries > 0
+        if op.kind == "create" and isinstance(exc, (NodeExistsError,
+                                                    ConnectionLossError)):
+            if isinstance(exc, NodeExistsError) and not self.zk.last_retries:
+                return False
+            if isinstance(op.payload, FilePayload):
+                mine = yield from self._znode_has_fid(op.path,
+                                                      op.payload.fid)
+                return mine is True
+            if isinstance(op.payload, DirPayload):
+                # An existing directory satisfies mkdir's post-condition
+                # (same rule as the sync path).
+                self.stats["zk_reads"] += 1
+                try:
+                    data, _ = yield from self.zk.get(op.path)
+                except ZKError:
+                    return False
+                return isinstance(decode_payload(data), DirPayload)
+        return False
+
+    def _on_async_error(self, op: PendingOp, exc: ZKError) -> None:
+        """A drained op was genuinely rejected after its caller was
+        acked. The overlay rollback already happened; here the client
+        undoes the op's side effects — a rejected file create rolls back
+        the physical file it produced (fire-and-forget: the error itself
+        is reported at the next barrier, close-to-open style)."""
+        if op.kind == "create" and isinstance(op.payload, FilePayload):
+            backend, ppath = self._locate(op.payload.fid)
+            self.node.spawn(self._rollback_physical(backend, ppath),
+                            f"wb-rollback{op.seq}")
+
+    def _drain_barrier(self) -> Generator:
+        """Force synchronous commit of every acked mutation (ordering
+        barriers: directory rename, cross-shard multis)."""
+        if self.wblog is not None:
+            yield from self.wblog.barrier()
+
+    def flush(self) -> Generator:
+        """Explicit drain barrier (``fsync``/``close`` of the metadata
+        stream): waits until every write-behind mutation committed, then
+        returns the deferred errors as ``(path, FSError)`` pairs —
+        close-to-open semantics, the caller owns them once returned.
+        Synchronous clients return immediately with no errors."""
+        if self.wblog is None:
+            return []
+        yield from self.wblog.barrier()
+        return [(op.path, _map_zk_error(exc, op.path))
+                for op, exc in self.wblog.pop_errors()]
+
+    def fsync(self, path: str) -> Generator:
+        """Barrier + raise the first deferred error recorded for
+        ``path`` (POSIX fsync surfacing a delayed-write failure).
+        Errors for other paths stay queued for their own fsync/flush."""
+        path = normalize_path(path)
+        if self.wblog is None:
+            return True
+        yield from self.wblog.barrier()
+        for op, exc in self.wblog.pop_errors(path):
+            raise _map_zk_error(exc, op.path)
+        return True
+
     def _locate(self, fid: int) -> Tuple[int, str]:
         """Steps C/D of Fig. 3: deterministic mapping, physical path."""
         backend = self.mapping.backend_for(fid)
@@ -314,6 +399,21 @@ class DUFSClient:
         self.stats["ops"] += 1
         yield from self._logic(self.params.znode_codec_cpu)
         yield from self._check_parent_dir(path)
+        if self.wblog is not None:
+            # Write-behind: ack after the local append. Collisions the
+            # client can prove locally (a pending create, a known
+            # directory) fail fast; a genuine remote collision surfaces
+            # as a deferred error at the next barrier.
+            if self.mdcache.overlay_pending(path) == "create" \
+                    or self.mdcache.known_dir(path):
+                raise FSError(EEXIST, path)
+            self.stats["zk_writes"] += 1
+            payload = DirPayload(mode)
+            yield from self.wblog.append("create", path,
+                                         data=payload.encode(),
+                                         payload=payload)
+            self.mdcache.note_created(path, is_dir=True)
+            return True
         self.stats["zk_writes"] += 1
         try:
             yield from self.zk.create(path, DirPayload(mode).encode())
@@ -344,13 +444,19 @@ class DUFSClient:
         if not isinstance(payload, DirPayload):
             raise FSError(ENOTDIR, path)
         self.stats["zk_writes"] += 1
-        try:
-            yield from self.zk.delete(path, is_dir=True)
-        except NoNodeError as exc:
-            if not self.zk.last_retries:  # retried rmdir already landed
+        if self.wblog is not None:
+            # Write-behind: the not-empty check happens at commit time —
+            # a non-empty directory surfaces ENOTEMPTY as a deferred
+            # error at the next barrier (close-to-open reporting).
+            yield from self.wblog.append("delete", path, is_dir=True)
+        else:
+            try:
+                yield from self.zk.delete(path, is_dir=True)
+            except NoNodeError as exc:
+                if not self.zk.last_retries:  # retried rmdir already landed
+                    raise _map_zk_error(exc, path) from None
+            except ZKError as exc:
                 raise _map_zk_error(exc, path) from None
-        except ZKError as exc:
-            raise _map_zk_error(exc, path) from None
         self.mdcache.note_removed(path)
         return True
 
@@ -418,12 +524,26 @@ class DUFSClient:
                                self.params.mapping_cpu,
                                self.params.znode_codec_cpu)
         yield from self._check_parent_dir(path)
+        if self.wblog is not None \
+                and self.mdcache.overlay_pending(path) == "create":
+            raise FSError(EEXIST, path)
         fid = self.fidgen.next()
         backend, ppath = self._locate(fid)
         yield from self._ensure_physical_dirs(backend, fid)
         self.stats["backend_ops"] += 1
         yield from self._backend_call(backend, "create", ppath, mode)
         self.stats["zk_writes"] += 1
+        if self.wblog is not None:
+            # Write-behind: the physical file exists (steps C/D stayed
+            # synchronous); the name->FID publication is acked locally
+            # and drained in the background. A genuine remote collision
+            # rolls the physical file back via the rejection callback.
+            payload = FilePayload(fid, mode)
+            yield from self.wblog.append("create", path,
+                                         data=payload.encode(),
+                                         payload=payload)
+            self.mdcache.note_created(path)
+            return True
         try:
             yield from self.zk.create(path, FilePayload(fid, mode).encode())
         except NodeExistsError as exc:
@@ -485,6 +605,19 @@ class DUFSClient:
         if isinstance(payload, DirPayload):
             raise FSError(EISDIR, path)
         self.stats["zk_writes"] += 1
+        if self.wblog is not None:
+            yield from self.wblog.append("delete", path, is_dir=False)
+            self.mdcache.note_removed(path)
+            if isinstance(payload, FilePayload):
+                yield from self._logic(self.params.mapping_cpu)
+                backend, ppath = self._locate(payload.fid)
+                self.stats["backend_ops"] += 1
+                try:
+                    yield from self._backend_call(backend, "unlink", ppath)
+                except FSError as exc:
+                    if exc.err != ENOENT:
+                        raise
+            return True
         try:
             yield from self.zk.delete(path, is_dir=False)
         except NoNodeError as exc:
@@ -604,11 +737,17 @@ class DUFSClient:
         if isinstance(payload, DirPayload):
             new = DirPayload(mode & 0o7777, payload.uid, payload.gid)
             self.stats["zk_writes"] += 1
-            try:
-                yield from self.zk.set_data(path, new.encode(),
-                                            version=zstat.version)
-            except ZKError as exc:
-                raise _map_zk_error(exc, path) from None
+            if self.wblog is not None:
+                # Async setdata is last-writer-wins (version unknowable
+                # pre-drain); the overlay serves the new mode meanwhile.
+                yield from self.wblog.append("set", path,
+                                             data=new.encode(), payload=new)
+            else:
+                try:
+                    yield from self.zk.set_data(path, new.encode(),
+                                                version=zstat.version)
+                except ZKError as exc:
+                    raise _map_zk_error(exc, path) from None
             self.mdcache.note_changed(path)
             return True
         if isinstance(payload, SymlinkPayload):
@@ -619,10 +758,14 @@ class DUFSClient:
         # Keep the znode's cached mode in sync (best effort).
         new = FilePayload(payload.fid, mode & 0o7777)
         self.stats["zk_writes"] += 1
-        try:
-            yield from self.zk.set_data(path, new.encode())
-        except ZKError:
-            pass
+        if self.wblog is not None:
+            yield from self.wblog.append("set", path,
+                                         data=new.encode(), payload=new)
+        else:
+            try:
+                yield from self.zk.set_data(path, new.encode())
+            except ZKError:
+                pass
         self.mdcache.note_changed(path)
         return True
 
@@ -633,11 +776,19 @@ class DUFSClient:
         yield from self._logic(self.params.znode_codec_cpu)
         yield from self._check_parent_dir(linkpath)
         self.stats["zk_writes"] += 1
-        try:
-            yield from self.zk.create(linkpath,
-                                      SymlinkPayload(target).encode())
-        except ZKError as exc:
-            raise _map_zk_error(exc, linkpath) from None
+        if self.wblog is not None:
+            if self.mdcache.overlay_pending(linkpath) == "create":
+                raise FSError(EEXIST, linkpath)
+            payload = SymlinkPayload(target)
+            yield from self.wblog.append("create", linkpath,
+                                         data=payload.encode(),
+                                         payload=payload)
+        else:
+            try:
+                yield from self.zk.create(linkpath,
+                                          SymlinkPayload(target).encode())
+            except ZKError as exc:
+                raise _map_zk_error(exc, linkpath) from None
         self.mdcache.note_created(linkpath)
         return True
 
@@ -655,6 +806,10 @@ class DUFSClient:
         src, dst = normalize_path(src), normalize_path(dst)
         self.stats["ops"] += 1
         yield from self._logic(self.params.znode_codec_cpu)
+        # Rename is an ordering barrier: its multi must observe every
+        # earlier acked mutation as committed state (and _collect_subtree
+        # reads raw znodes, which the overlay cannot answer for).
+        yield from self._drain_barrier()
         payload, zstat = yield from self._get_payload(src)
         if src == dst:
             return True  # POSIX: same-path rename is a no-op (post-check)

@@ -16,7 +16,7 @@ from ..fuse.mount import FuseMount
 from ..fuse.ops import OperationTable
 from ..mds import (Autoscaler, Migrator, ShardMap, ShardMapRegistry,
                    ShardedMDS, make_route_guard)
-from ..models.params import (CacheParams, ElasticParams,
+from ..models.params import (AsyncParams, CacheParams, ElasticParams,
                              FaultToleranceParams, ResilienceParams,
                              ResolveParams, SimParams)
 from ..pfs.localfs import LocalFS
@@ -130,6 +130,7 @@ def build_dufs_deployment(
     resilience: Optional[ResilienceParams] = None,
     resolve: Optional[ResolveParams] = None,
     autoscale: Optional[ElasticParams] = None,
+    awrite: Optional[AsyncParams] = None,
 ) -> DUFSDeployment:
     """Wire up a complete DUFS installation on a fresh simulated cluster.
 
@@ -196,12 +197,22 @@ def build_dufs_deployment(
     and merges cold pins from windowed per-shard op rates
     (``ElasticParams.elastic_on()`` is the preset). Requires
     ``n_shards >= 2``. Off keeps runs byte-identical.
+
+    Asynchronous metadata updates: ``awrite`` (default: ``params.awrite``,
+    off) puts every client in write-behind mode — namespace mutations
+    append to a per-client ordered log (:mod:`repro.core.wblog`), ack
+    immediately, and drain in the background in group-committed batches;
+    reads are answered read-your-writes from the cache's pending-write
+    overlay, and explicit barriers (``flush``/``fsync``, rename) force
+    synchronous commit (``AsyncParams.async_on()`` is the preset). Off
+    keeps runs byte-identical: the log is not even constructed.
     """
     params = params or SimParams()
     fault = fault or params.fault
     cache = cache or params.cache
     resilience = resilience or params.resilience
     resolve = resolve or params.resolve
+    awrite = awrite or params.awrite
     elastic = autoscale if autoscale is not None else params.elastic
     if n_shards < 1:
         raise ValueError("n_shards must be >= 1")
@@ -307,7 +318,7 @@ def build_dufs_deployment(
         dufs = DUFSClient(node, service, backend_clients, params=params.dufs,
                           mapping=mapping, client_id=0x5EED0000 + i,
                           cache=cache, bus=bus, name=f"dufs{i}",
-                          resolve=resolve)
+                          resolve=resolve, awrite=awrite)
         if bus is not None:
             instrument_client(dufs, TRACED_CLIENT_OPS, bus,
                               deployment="dufs", endpoint=f"dufs{i}",

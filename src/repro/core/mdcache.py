@@ -24,7 +24,20 @@ ZooKeeper watches:
   the watch registrations that guarantee coherence may be gone). Behind a
   sharded metadata service the flush is *per shard*: only the namespace
   slice whose watches lived on the affected ensemble is dropped, so one
-  shard's fail-over no longer costs every client its whole cache.
+  shard's fail-over no longer costs every client its whole cache;
+- **pending-write overlay** — with write-behind metadata updates
+  (:mod:`repro.core.wblog`) every acked-but-uncommitted mutation layers a
+  pending entry *over* the positive/negative/readdir tables: lookups of a
+  pending create are answered locally (read-your-writes), lookups of a
+  pending delete raise ENOENT, and listings are adjusted by the pending
+  children of the directory. The overlay is owned by the client's write
+  path, not the coherence machinery: watch invalidations, shard flushes
+  and map changes never touch it (a remote event cannot invalidate this
+  client's own uncommitted writes), and it is active regardless of
+  ``CacheParams.enabled``. Entries are reconciled as the write-behind
+  drain commits (:meth:`MDCache.overlay_commit`) and rolled back — with
+  the surrounding cached state purged — when the quorum rejects an op
+  (:meth:`MDCache.overlay_reject`).
 
 The cache also owns the *virtual-directory dcache* the client always had
 (the ``_vdir_cache`` set emulating kernel-dcache parent-type checks), so
@@ -46,10 +59,11 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 from ..models.params import CacheParams
 from ..sim.core import Event
 from ..svc import NULL_BUS, TraceBus
+from ..zk.data import ZnodeStat
 from ..zk.errors import NoNodeError
 from ..zk.protocol import WatchEvent
 from .metadata import DirPayload, decode_payload
-from .paths import ancestors, is_ancestor, parent_dir
+from .paths import ancestors, basename, is_ancestor, parent_dir
 
 
 @dataclass
@@ -59,6 +73,19 @@ class _Entry:
     payload: Any
     zstat: Any
     expires: Optional[float]        # None = no TTL bound (watch-coherent)
+
+
+@dataclass
+class _Pending:
+    """One acked-but-uncommitted write-behind mutation layered over the
+    cache. ``seq`` is the mutation-log sequence of the *latest* pending
+    op on the path, so an earlier op's commit never retires a newer
+    pending state."""
+
+    kind: str                       # "create" | "delete" | "set"
+    payload: Any                    # decoded payload (None for deletes)
+    zstat: Any                      # synthesized stat served until commit
+    seq: int
 
 
 class MDCache:
@@ -72,7 +99,8 @@ class MDCache:
 
     COUNTERS = ("hits", "misses", "neg_hits", "listing_hits",
                 "listing_misses", "coalesced", "invalidations",
-                "watch_invalidations", "flushes", "evictions")
+                "watch_invalidations", "flushes", "evictions",
+                "overlay_hits", "overlay_commits", "overlay_rejects")
 
     def __init__(
         self,
@@ -111,6 +139,10 @@ class MDCache:
         # historical unbounded behaviour.
         self.dcache_capacity = dcache_capacity
         self._dirs: "OrderedDict[str, None]" = OrderedDict()
+        # Pending-write overlay (write-behind mode): path -> _Pending.
+        # Empty unless a WriteBehindLog feeds it; the hot-path cost when
+        # async mode is off is one falsy-dict test per lookup.
+        self._overlay: Dict[str, _Pending] = {}
 
         if self.params.enabled:
             zk.watch_loss_listeners.append(self._on_watch_loss)
@@ -135,6 +167,11 @@ class MDCache:
 
     # -- virtual-directory dcache (always on) -------------------------------
     def known_dir(self, path: str) -> bool:
+        if self._overlay:
+            pend = self._overlay.get(path)
+            if pend is not None:
+                return pend.kind != "delete" \
+                    and isinstance(pend.payload, DirPayload)
         if path in self._dirs:
             if self.dcache_capacity > 0:
                 self._dirs.move_to_end(path)
@@ -152,6 +189,72 @@ class MDCache:
             while len(self._dirs) > self.dcache_capacity:
                 self._dirs.popitem(last=False)
 
+    # -- pending-write overlay (write-behind mode) ---------------------------
+    def overlay_put(self, path: str, kind: str, payload: Any,
+                    seq: int) -> None:
+        """Layer one acked-but-uncommitted mutation over the cache. The
+        synthesized stat serves approximate ctime/mtime until the drain
+        commits and the real znode becomes readable."""
+        now = self.sim.now
+        zstat = None if kind == "delete" \
+            else ZnodeStat(ctime=now, mtime=now)
+        self._overlay[path] = _Pending(kind, payload, zstat, seq)
+
+    def overlay_pending(self, path: str) -> Optional[str]:
+        """The pending mutation kind for ``path`` (None when clean)."""
+        pend = self._overlay.get(path)
+        return pend.kind if pend is not None else None
+
+    def overlay_commit(self, path: str, seq: int) -> None:
+        """The drain committed op ``seq``: retire the pending entry (the
+        committed znode is now the authority). A newer pending op on the
+        same path keeps the overlay in place."""
+        pend = self._overlay.get(path)
+        if pend is not None and pend.seq == seq:
+            del self._overlay[path]
+            self.counters["overlay_commits"] += 1
+
+    def overlay_reject(self, path: str, seq: int) -> None:
+        """The quorum rejected op ``seq``: roll the optimistic state
+        back — drop the pending entry and purge everything cached about
+        the path (the local view was provably wrong)."""
+        pend = self._overlay.get(path)
+        if pend is not None and pend.seq == seq:
+            del self._overlay[path]
+        self._invalidate_path(path, count=False)
+        self._listings.pop(parent_dir(path), None)
+        self._dirs.pop(path, None)
+        self.counters["overlay_rejects"] += 1
+
+    def overlay_forget(self, path: str, seq: int) -> None:
+        """Crash path: drop a pending entry without the reject
+        bookkeeping — the write-behind log lost the op with its node, and
+        a restarted client must not keep serving the ghost."""
+        pend = self._overlay.get(path)
+        if pend is not None and pend.seq == seq:
+            del self._overlay[path]
+
+    def _overlay_adjust(self, parent: str, names: List[str]) -> List[str]:
+        """Apply pending creates/deletes under ``parent`` to a listing.
+        Never applied to the *stored* listing — overlay state retires on
+        commit, cached listings retire on watch events."""
+        if not self._overlay:
+            return names
+        names = list(names)
+        present = set(names)
+        for path, pend in self._overlay.items():
+            if parent_dir(path) != parent or path == parent:
+                continue
+            name = basename(path)
+            if pend.kind == "delete":
+                if name in present:
+                    present.discard(name)
+                    names.remove(name)
+            elif name not in present:
+                present.add(name)
+                names.append(name)
+        return names
+
     # -- lookups -------------------------------------------------------------
     def get_payload(self, path: str) -> Generator:
         """Resolve ``path`` to (decoded payload, znode stat).
@@ -159,6 +262,15 @@ class MDCache:
         Raises the raw ZooKeeper errors (``NoNodeError`` &c.); the client
         maps them to POSIX errors exactly as it does for a direct read.
         """
+        if self._overlay:
+            pend = self._overlay.get(path)
+            if pend is not None:
+                # Read-your-writes: answered locally, no RPC, no
+                # coalescing — a pending path never reaches _inflight.
+                self.counters["overlay_hits"] += 1
+                if pend.kind == "delete":
+                    raise NoNodeError(path)
+                return pend.payload, pend.zstat
         p = self.params
         if not p.enabled:
             result = yield from self._fetch(path, register_watch=False)
@@ -186,12 +298,25 @@ class MDCache:
 
     def get_children(self, path: str) -> Generator:
         """Child-name listing for ``path``, cached with a child watch."""
+        if self._overlay:
+            pend = self._overlay.get(path)
+            if pend is not None:
+                if pend.kind == "delete":
+                    self.counters["overlay_hits"] += 1
+                    raise NoNodeError(path)
+                if pend.kind == "create":
+                    # A pending-created directory has no committed znode
+                    # to list; its children are exactly the overlay's
+                    # pending creates beneath it (nothing else can exist
+                    # under an uncommitted name).
+                    self.counters["overlay_hits"] += 1
+                    return self._overlay_adjust(path, [])
         p = self.params
         if not p.enabled:
             self.client_stats["zk_reads"] = \
                 self.client_stats.get("zk_reads", 0) + 1
             names = yield from self.zk.get_children(path)
-            return names
+            return self._overlay_adjust(path, names)
         cached = self._listings.get(path)
         if cached is not None:
             names, expires = cached
@@ -200,7 +325,7 @@ class MDCache:
                 self._mark("listing_hits")
                 if p.hit_cpu:
                     yield from self.node.cpu_work(p.hit_cpu)
-                return list(names)
+                return self._overlay_adjust(path, list(names))
             self._listings.pop(path, None)
         self._mark("listing_misses")
         self.client_stats["zk_reads"] = \
@@ -215,7 +340,7 @@ class MDCache:
         while len(self._listings) > p.listing_capacity:
             self._listings.popitem(last=False)
             self.counters["evictions"] += 1
-        return names
+        return self._overlay_adjust(path, names)
 
     def resolve_payload(self, path: str) -> Generator:
         """Thin-client lookup via the server-side ``resolve`` endpoint:
@@ -234,6 +359,13 @@ class MDCache:
         the same ``_inflight`` table — a client uses one lookup mode, so
         the waiter payload shapes never mix.
         """
+        if self._overlay:
+            pend = self._overlay.get(path)
+            if pend is not None:
+                self.counters["overlay_hits"] += 1
+                if pend.kind == "delete":
+                    return ("miss", None, None)
+                return ("ok", pend.payload, pend.zstat)
         p = self.params
         if not p.enabled:
             result = yield from self._resolve_fetch(path,
@@ -265,6 +397,10 @@ class MDCache:
         """Un-expired negative entry for ``path``? Lets the client's
         parent-walk error classification skip re-probing components it
         already proved absent."""
+        if self._overlay:
+            pend = self._overlay.get(path)
+            if pend is not None:
+                return pend.kind == "delete"
         if not self.params.enabled:
             return False
         neg_exp = self._negatives.get(path)
@@ -416,12 +552,20 @@ class MDCache:
 
     def note_created(self, path: str, is_dir: bool = False) -> None:
         """Read-your-writes after a successful create/mkdir/symlink: the
-        path is no longer a negative and the parent's listing grew."""
+        path is no longer a negative and the parent's listing grew. A
+        successful create also proves every ancestor exists, so any
+        stale negative-chain entries for them (recorded by an earlier
+        failed walk under a then-missing intermediate) are purged too —
+        otherwise a path created under them would keep serving ENOENT
+        until the negatives' TTL expired."""
         if is_dir:
             self.note_dir(path)
         if not self.params.enabled:
             return
         self._negatives.pop(path, None)
+        if self._negatives:
+            for anc in ancestors(path):
+                self._negatives.pop(anc, None)
         self._listings.pop(parent_dir(path), None)
 
     def note_removed(self, path: str) -> None:
@@ -494,6 +638,10 @@ class MDCache:
             self.flush_shard(shard)
 
     def flush(self) -> None:
+        """Drop every cached coherence-dependent table. The pending-write
+        overlay deliberately survives (here and in :meth:`flush_shard`):
+        it mirrors this client's own acked-but-uncommitted writes, whose
+        truth does not depend on any watch registration."""
         if not (self._entries or self._listings or self._negatives
                 or self._dirs or self._watched):
             return

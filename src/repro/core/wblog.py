@@ -1,0 +1,285 @@
+"""Per-client write-behind mutation log (asynchronous metadata updates).
+
+The paper's client charges every namespace mutation the full quorum
+round trip before the application sees an ack. AsyncFS/SwitchFS show the
+ack can be decoupled from the durable commit when ordering and crash
+consistency stay coordinated; this module is that decoupling for the
+DUFS client:
+
+- ``append()`` records one create/delete/setdata in an **ordered
+  per-client log**, installs a pending entry in the metadata cache's
+  write overlay (read-your-writes), and acks after ``ack_cpu`` of client
+  CPU — no ZooKeeper contact on the caller's critical path;
+- a group-commit :class:`~repro.svc.batch.Batcher` drains the log in
+  batches of up to ``drain_batch_max`` ops through the client's
+  :class:`~repro.mds.MetadataService` — so drains inherit leader-side
+  proposal coalescing, the retry/fail-over machinery, and (behind a
+  :class:`~repro.mds.ShardedMDS`) epoch-stamped routing that retries
+  cleanly through ``StaleShardMapError`` during live migration;
+- within a batch, ops are issued in **dependency waves**: consecutive
+  ops whose paths are unrelated (no equal/ancestor/descendant pair) fly
+  concurrently, while an op touching a path a wave member already
+  touches starts the next wave. Waves complete in order and batches are
+  drained strictly sequentially, so per-path dependency order — and the
+  program order of any two conflicting ops — is preserved across
+  shards;
+- :meth:`barrier` is the explicit synchronization point (fsync, a
+  ``flush``, directory renames, cross-shard multis): it waits until
+  every acked op has committed or been rejected;
+- a rejected op (the quorum refused it after the caller was already
+  acked) rolls its overlay entry back and surfaces through
+  :meth:`pop_errors` / the ``on_error`` callback at the next barrier —
+  close-to-open error semantics, like a delayed-write error reported at
+  ``close()``.
+
+Crash semantics: the log lives on the client node, so a node crash
+interrupts the drain loop and any in-flight waves. Whatever was acked
+but not yet committed — at most ``max_pending`` ops — is the **bounded
+loss window**; :meth:`lost_ops` exposes it so the chaos auditor can
+count lost-unacked residue separately from real damage.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from ..models.params import AsyncParams
+from ..sim.core import AllOf, Event, Interrupt
+from ..sim.node import Node
+from ..svc.batch import Batcher
+from ..svc.trace import NULL_BUS, TraceBus
+from ..zk.errors import ZKError
+from .paths import is_ancestor
+
+
+class PendingOp:
+    """One acked-but-uncommitted mutation in program order."""
+
+    __slots__ = ("seq", "kind", "path", "data", "payload", "is_dir")
+
+    def __init__(self, seq: int, kind: str, path: str, data: bytes,
+                 payload: Any, is_dir: bool):
+        self.seq = seq
+        self.kind = kind            # "create" | "delete" | "set"
+        self.path = path
+        self.data = data            # encoded znode payload (b"" for delete)
+        self.payload = payload      # decoded payload (None for delete)
+        self.is_dir = is_dir
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PendingOp #{self.seq} {self.kind} {self.path}>"
+
+
+def _conflicts(a: PendingOp, b: PendingOp) -> bool:
+    """Two ops conflict when one's path is the other's (or an ancestor
+    of it): they must commit in program order."""
+    return is_ancestor(a.path, b.path) or is_ancestor(b.path, a.path)
+
+
+class WriteBehindLog:
+    """Ordered per-client mutation log drained by a group-commit Batcher.
+
+    ``verify`` is an optional generator callback ``(op, exc) -> bool``
+    the owning client supplies to disambiguate at-least-once rejections
+    (a retried create/delete whose first attempt landed raises
+    NodeExists/NoNode from the duplicate); returning True counts the op
+    as committed. ``on_error`` fires once per genuine rejection, after
+    the overlay rollback — the client uses it to undo side effects
+    (e.g. the already-created physical file).
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        service,
+        mdcache,
+        params: Optional[AsyncParams] = None,
+        verify: Optional[Callable[[PendingOp, ZKError], Generator]] = None,
+        on_error: Optional[Callable[[PendingOp, ZKError], None]] = None,
+        bus: TraceBus = NULL_BUS,
+        endpoint: str = "dufs-client",
+    ):
+        self.node = node
+        self.sim = node.sim
+        self.zk = service
+        self.mdcache = mdcache
+        self.params = params or AsyncParams()
+        self.verify = verify
+        self.on_error = on_error
+        self.endpoint = endpoint
+        self.stats = {"acked": 0, "committed": 0, "rejected": 0,
+                      "stalls": 0, "max_pending": 0, "lost": 0}
+        self._seq = 0
+        self._pending: Dict[int, PendingOp] = {}    # seq -> op, in order
+        self._lost: List[PendingOp] = []            # crash-lost acked ops
+        self._errors: List[Tuple[PendingOp, ZKError]] = []
+        self._barriers: List[Event] = []
+        self._stalled: List[Event] = []
+        self._batcher = Batcher(node, f"{endpoint}.wblog", self._drain,
+                                max_batch=self.params.drain_batch_max,
+                                bus=bus, deployment="dufs")
+        node.on_crash(self._on_crash)
+        node.on_recover(self._on_recover)
+
+    # -- producer side -------------------------------------------------------
+    def append(self, kind: str, path: str, data: bytes = b"",
+               payload: Any = None, is_dir: bool = False) -> Generator:
+        """Log one mutation and ack. Blocks (backpressure) only while the
+        acked-but-uncommitted window is at ``max_pending``."""
+        while len(self._pending) >= self.params.max_pending:
+            self.stats["stalls"] += 1
+            ev = self.sim.event()
+            self._stalled.append(ev)
+            yield ev
+        if self.params.ack_cpu:
+            yield from self.node.cpu_work(self.params.ack_cpu)
+        self._seq += 1
+        op = PendingOp(self._seq, kind, path, data, payload, is_dir)
+        self._pending[op.seq] = op
+        self.mdcache.overlay_put(path, kind, payload, op.seq)
+        self._batcher.submit(op)
+        self.stats["acked"] += 1
+        if len(self._pending) > self.stats["max_pending"]:
+            self.stats["max_pending"] = len(self._pending)
+        return op
+
+    def barrier(self) -> Generator:
+        """Wait until every acked op has committed or been rejected (the
+        fsync/flush/rename/cross-shard synchronization point)."""
+        if not self._pending:
+            return
+        ev = self.sim.event()
+        self._barriers.append(ev)
+        yield ev
+
+    def pop_errors(self,
+                   path: Optional[str] = None,
+                   ) -> List[Tuple[PendingOp, ZKError]]:
+        """Deferred write-behind errors since the last call (close-to-open
+        reporting: the caller owns them once popped). With ``path``, pops
+        only that path's errors — an ``fsync(path)`` must not consume
+        errors another file's fsync is entitled to see."""
+        if path is None:
+            errors, self._errors = self._errors, []
+            return errors
+        mine = [e for e in self._errors if e[0].path == path]
+        self._errors = [e for e in self._errors if e[0].path != path]
+        return mine
+
+    # -- introspection -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    def lost_ops(self) -> List[PendingOp]:
+        """Every acked op with no commit: the ones a node crash already
+        dropped plus the window still pending right now — the auditor's
+        lost-unacked set, in program order."""
+        return self._lost + [self._pending[s] for s in sorted(self._pending)]
+
+    # -- crash semantics -----------------------------------------------------
+    def _on_crash(self) -> None:
+        """The client node died: the volatile log and any in-flight waves
+        die with it. Acked-but-uncommitted ops become the bounded loss
+        (at most ``max_pending``); their overlay entries are forgotten —
+        a restarted client starts cold, it does not remember ghosts."""
+        self._batcher.clear()
+        lost = [self._pending[s] for s in sorted(self._pending)]
+        self._pending.clear()
+        self._lost.extend(lost)
+        self.stats["lost"] += len(lost)
+        for op in lost:
+            self.mdcache.overlay_forget(op.path, op.seq)
+        # Waiters (barriers, stalled appenders) ran on this node and were
+        # interrupted with it; the events just get dropped.
+        self._barriers.clear()
+        self._stalled.clear()
+
+    def _on_recover(self) -> None:
+        self._batcher.restart()
+
+    @property
+    def batch_stats(self) -> Dict[str, int]:
+        return dict(self._batcher.stats)
+
+    # -- drain side ----------------------------------------------------------
+    @staticmethod
+    def _waves(batch: List[PendingOp]) -> List[List[PendingOp]]:
+        """Split a batch into dependency waves, preserving program order:
+        an op joins the current wave iff it conflicts with none of its
+        members, else it starts the next wave. Conflicting ops therefore
+        land in strictly increasing waves, in program order."""
+        waves: List[List[PendingOp]] = []
+        current: List[PendingOp] = []
+        for op in batch:
+            if current and any(_conflicts(op, o) for o in current):
+                waves.append(current)
+                current = [op]
+            else:
+                current.append(op)
+        if current:
+            waves.append(current)
+        return waves
+
+    def _drain(self, batch: List[PendingOp]) -> Generator:
+        """Batcher flush callback: issue the batch wave by wave. Ops of a
+        wave fly concurrently; a wave completes before the next starts;
+        the Batcher drains batches strictly sequentially."""
+        for wave in self._waves(batch):
+            if len(wave) == 1:
+                yield from self._issue(wave[0])
+            else:
+                procs = [self.node.spawn(self._issue(op),
+                                         f"{self.endpoint}.drain{op.seq}")
+                         for op in wave]
+                yield AllOf(self.sim, procs)
+
+    def _issue(self, op: PendingOp) -> Generator:
+        """One drained op through the metadata service. Never raises a
+        ZK error out (a failed op is a deferred rejection, not a drain
+        crash); a node crash interrupts it like any process."""
+        try:
+            if op.kind == "create":
+                yield from self.zk.create(op.path, op.data)
+            elif op.kind == "delete":
+                yield from self.zk.delete(op.path, is_dir=op.is_dir)
+            else:
+                # Last-writer-wins: pending setdata carries no version
+                # (the znode's committed version is unknowable pre-drain).
+                yield from self.zk.set_data(op.path, op.data, version=-1)
+        except Interrupt:
+            # Node crash mid-issue: the op stays pending and _on_crash
+            # moves it into the lost window. (The Batcher loop catches
+            # its own interrupt; wave members spawned as separate
+            # processes must catch theirs.)
+            return
+        except ZKError as exc:
+            ok = False
+            if self.verify is not None:
+                ok = yield from self.verify(op, exc)
+            self._complete(op, None if ok else exc)
+            return
+        self._complete(op, None)
+
+    def _complete(self, op: PendingOp, exc: Optional[ZKError]) -> None:
+        self._pending.pop(op.seq, None)
+        if exc is None:
+            self.stats["committed"] += 1
+            self.mdcache.overlay_commit(op.path, op.seq)
+        else:
+            self.stats["rejected"] += 1
+            self.mdcache.overlay_reject(op.path, op.seq)
+            self._errors.append((op, exc))
+            if self.on_error is not None:
+                self.on_error(op, exc)
+        if self._stalled and len(self._pending) < self.params.max_pending:
+            stalled, self._stalled = self._stalled, []
+            for ev in stalled:
+                ev.succeed()
+        if not self._pending and self._barriers:
+            barriers, self._barriers = self._barriers, []
+            for ev in barriers:
+                ev.succeed()

@@ -363,6 +363,42 @@ class ResolveParams:
 
 
 @dataclass
+class AsyncParams:
+    """Write-behind metadata updates (:mod:`repro.core.wblog`).
+
+    Off by default — the synchronous client is byte-identical to the
+    pre-async build: no per-client mutation log is constructed, no
+    drainer process spawns, and every mutation pays the full quorum
+    round trip before returning (the replay-pin tests rely on this).
+
+    With ``enabled`` each DUFS client appends creates/deletes/setdata to
+    an ordered :class:`~repro.core.wblog.WriteBehindLog`, acks the
+    caller after ``ack_cpu`` seconds of client CPU, and drains the log
+    asynchronously through a group-commit
+    :class:`~repro.svc.batch.Batcher` in batches of up to
+    ``drain_batch_max`` ops, issuing non-conflicting ops of a batch
+    concurrently (per-path/ancestor dependency order and per-client
+    program order of conflicting ops are preserved). Read-your-writes is
+    served from the mdcache's pending-write overlay until the drain
+    commits. ``max_pending`` bounds the acked-but-uncommitted window: an
+    append past the bound blocks until the drain catches up, which is
+    also the most metadata a client crash can lose.
+    """
+
+    enabled: bool = False
+    drain_batch_max: int = 64          # ops drained per batcher flush
+    max_pending: int = 4096            # acked-but-uncommitted bound
+    ack_cpu: float = 4e-6              # client CPU to append + ack
+
+    @classmethod
+    def async_on(cls, **overrides) -> "AsyncParams":
+        """The standard write-behind policy used by benchmarks/chaos."""
+        base = dict(enabled=True)
+        base.update(overrides)
+        return cls(**base)
+
+
+@dataclass
 class ElasticParams:
     """Elastic metadata plane: epoch-versioned shard map, load-driven
     split/merge, live subtree migration (:mod:`repro.mds.autoscaler`).
@@ -417,6 +453,7 @@ class SimParams:
     resilience: ResilienceParams = field(default_factory=ResilienceParams)
     resolve: ResolveParams = field(default_factory=ResolveParams)
     elastic: ElasticParams = field(default_factory=ElasticParams)
+    awrite: AsyncParams = field(default_factory=AsyncParams)
 
     node_cores: int = 8                # dual Xeon E5335
     client_op_cpu: float = 18e-6       # mdtest/app-side cost per op

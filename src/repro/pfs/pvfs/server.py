@@ -54,7 +54,8 @@ class PVFSServer:
         self.workers = BoundedAdmission(self.sim, params.server_cores)
         # Group-committed sync txns (trove/dbpf + fdatasync).
         self._txn = Batcher(node, f"{endpoint}.txn", self._flush_txns,
-                            max_batch=params.disk_batch_max)
+                            max_batch=params.disk_batch_max,
+                            bus=bus, deployment="pvfs")
         node.on_crash(self._on_crash)
         node.on_recover(self._on_recover)
         self.stats = {"ops": 0, "txns": 0}

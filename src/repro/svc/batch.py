@@ -23,14 +23,23 @@ from typing import Any, Callable, Deque, Generator
 from ..sim.core import Interrupt
 from ..sim.node import Node
 from ..sim.resources import Store
+from .trace import NULL_BUS, TraceBus
 
 
 class Batcher:
-    """Kick-driven group-commit queue bound to a node."""
+    """Kick-driven group-commit queue bound to a node.
+
+    ``bus``/``deployment`` wire per-flush occupancy marks (batch fill and
+    residual queue depth) onto a :class:`~repro.svc.trace.TraceBus` under
+    the key ``deployment/name`` — pure bookkeeping, so a traced pipeline
+    schedules the same events as an untraced one.
+    """
 
     def __init__(self, node: Node, name: str,
                  flush: Callable[[list], Generator],
-                 max_batch: int = 64):
+                 max_batch: int = 64,
+                 bus: TraceBus = NULL_BUS,
+                 deployment: str = "batch"):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         self.node = node
@@ -38,6 +47,8 @@ class Batcher:
         self.name = name
         self.flush = flush
         self.max_batch = max_batch
+        self.bus = bus if bus is not None else NULL_BUS
+        self.deployment = deployment
         self.queue: Deque[Any] = deque()
         self.stats = {"flushes": 0, "items": 0}
         self._kick = Store(self.sim)
@@ -73,5 +84,7 @@ class Batcher:
                     yield from self.flush(batch)
                     self.stats["flushes"] += 1
                     self.stats["items"] += len(batch)
+                    self.bus.mark_batch(self.deployment, self.name,
+                                        len(batch), len(self.queue))
         except Interrupt:
             return

@@ -82,6 +82,12 @@ class TraceBus:
         self.retries = Counter()        # key -> client retry attempts
         self.expired = Counter()        # key -> deadline-expired drops/cancels
         self.rejected = Counter()       # key -> admission-queue refusals
+        # Batcher occupancy (group-commit pipelines): per-batcher flush
+        # count, items covered, and queue depth left behind at each flush
+        # — mean fill = items/flushes, mean residual depth = depth/flushes.
+        self.batch_flushes = Counter()  # key -> flushes
+        self.batch_items = Counter()    # key -> items summed over flushes
+        self.batch_depth = Counter()    # key -> queue depth at flush end
         self.queue_wait = LatencyRecorder()
         self.service = LatencyRecorder()
         self.events: Optional[List[OpTrace]] = [] if keep_events else None
@@ -137,6 +143,17 @@ class TraceBus:
                       method: str) -> None:
         """Count an arrival refused by a full admission queue."""
         self.rejected.inc(f"{deployment}/{endpoint}.{method}")
+
+    def mark_batch(self, deployment: str, endpoint: str,
+                   fill: int, depth: int) -> None:
+        """Record one group-commit flush of a :class:`~repro.svc.batch.
+        Batcher`: ``fill`` items covered, ``depth`` items still queued
+        when the flush completed. Pure bookkeeping (no simulator
+        events), same discipline as every other mark."""
+        key = f"{deployment}/{endpoint}"
+        self.batch_flushes.inc(key)
+        self.batch_items.inc(key, fill)
+        self.batch_depth.inc(key, depth)
 
     def subscribe(self, fn: Callable[[OpTrace], None]) -> None:
         self._subscribers.append(fn)
@@ -220,6 +237,22 @@ class TraceBus:
             }
         return out
 
+    def batch_occupancy(self) -> Dict[str, Dict[str, float]]:
+        """Per-batcher group-commit occupancy: flushes, mean batch fill
+        (items per flush) and mean residual queue depth at flush end.
+        Keys are ``deployment/batcher-name``."""
+        out: Dict[str, Dict[str, float]] = {}
+        for key, flushes in sorted(self.batch_flushes.as_dict().items()):
+            items = self.batch_items.get(key)
+            depth = self.batch_depth.get(key)
+            out[key] = {
+                "flushes": flushes,
+                "items": items,
+                "fill_mean": items / flushes if flushes else 0.0,
+                "depth_mean": depth / flushes if flushes else 0.0,
+            }
+        return out
+
     def table(self) -> str:
         """Human-readable per-endpoint/method metric table."""
         header = (f"{'endpoint.method':<42} {'ops':>7} {'err':>5} "
@@ -232,6 +265,15 @@ class TraceBus:
                 f"{row['retries']:>5} {row['queue_wait_mean'] * 1e3:>10.3f} "
                 f"{row['service_mean'] * 1e3:>9.3f} "
                 f"{row['service_p95'] * 1e3:>9.3f}")
+        occupancy = self.batch_occupancy()
+        if occupancy:
+            bheader = (f"{'batcher':<42} {'flushes':>8} {'items':>8} "
+                       f"{'fill(mean)':>11} {'depth(mean)':>12}")
+            lines += ["", bheader, "-" * len(bheader)]
+            for key, row in occupancy.items():
+                lines.append(
+                    f"{key:<42} {row['flushes']:>8} {row['items']:>8} "
+                    f"{row['fill_mean']:>11.2f} {row['depth_mean']:>12.2f}")
         return "\n".join(lines)
 
 
@@ -252,6 +294,10 @@ class NullBus(TraceBus):
 
     def mark_rejected(self, deployment: str, endpoint: str,  # noqa: ARG002
                       method: str) -> None:
+        return
+
+    def mark_batch(self, deployment: str, endpoint: str,  # noqa: ARG002
+                   fill: int, depth: int) -> None:
         return
 
 

@@ -36,6 +36,12 @@ class MdtestConfig:
     # commit (ZooKeeper is sequentially consistent, not linearizable for
     # reads) can serve ENOENT for entries created microseconds earlier.
     barrier_slack: float = 0.05
+    # Write-behind deployments: end every worker (scaffold and measured
+    # phases alike) with an ``m.flush()`` drain barrier, so a phase's
+    # throughput includes committing its own mutations — acked-but-
+    # undrained work never leaks past the phase boundary into the next
+    # phase's wall clock. Ignored for mounts without ``flush``.
+    drain: bool = False
 
 
 @dataclass
@@ -109,6 +115,8 @@ def run_mdtest(
         m = mount_for(p)
         for path in paths:
             yield from m.mkdir(path)
+        if config.drain and hasattr(m, "flush"):
+            yield from m.flush()
 
     # Parents must exist before children: create level-by-level, spreading
     # each level's dirs over the processes.
@@ -137,6 +145,8 @@ def run_mdtest(
             t0 = sim.now
             yield from op(m, path)
             latencies.record(phase, sim.now - t0)
+        if config.drain and hasattr(m, "flush"):
+            yield from m.flush()
 
     results: Dict[str, PhaseResult] = {}
     for phase in config.phases:

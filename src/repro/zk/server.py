@@ -202,7 +202,8 @@ class ZKServer:
         if self._logger is None:
             self._logger = Batcher(self.node, f"zk{self.sid}.logger",
                                    self._flush_log,
-                                   max_batch=self.params.log_batch_max)
+                                   max_batch=self.params.log_batch_max,
+                                   bus=self.svc.bus, deployment="zk")
         else:
             self._logger.restart()
         if self.params.propose_batch_max > 1:
@@ -210,7 +211,8 @@ class ZKServer:
                 self._proposer = Batcher(
                     self.node, f"zk{self.sid}.proposer",
                     self._flush_proposals,
-                    max_batch=self.params.propose_batch_max)
+                    max_batch=self.params.propose_batch_max,
+                    bus=self.svc.bus, deployment="zk")
             else:
                 self._proposer.restart()
         self.node.spawn(self._applier_loop(), f"zk{self.sid}.applier")

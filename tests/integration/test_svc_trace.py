@@ -61,3 +61,37 @@ def test_zk_write_batching_raises_create_throughput():
     t_batched = batched.phases["dir_create"].throughput
     assert t_batched > t_plain * 1.05, (
         f"batching gave {t_batched:.0f} ops/s vs {t_plain:.0f} unbatched")
+
+
+def test_traced_zk_pipeline_reports_batch_occupancy():
+    """Satellite: the group-commit loops (ZK txn log + leader proposals)
+    publish per-flush occupancy through the bus, so `repro trace` can
+    show how full the batches actually run."""
+    _, bus = _traced_run(seed=3, batch=8, n_zk=3, n_procs=8, items=8,
+                         phases=("dir_create",))
+    occ = bus.batch_occupancy()
+    zk_batchers = {k for k in occ if k.startswith("zk/")}
+    assert zk_batchers, f"no zk batcher occupancy recorded: {sorted(occ)}"
+    for key in zk_batchers:
+        row = occ[key]
+        assert row["flushes"] > 0
+        assert row["fill_mean"] >= 1.0
+    assert "batcher" in bus.table()
+
+
+def test_traced_async_client_reports_wblog_occupancy():
+    from repro.models.params import AsyncParams
+
+    bus = TraceBus(keep_events=True)
+    dep = build_dufs_deployment(n_zk=3, n_backends=2, n_client_nodes=2,
+                                backend="local", seed=5, bus=bus,
+                                awrite=AsyncParams.async_on())
+    cfg = MdtestConfig(n_procs=2, items_per_proc=10,
+                       phases=("file_create",), drain=True)
+    run_mdtest(dep.cluster,
+               lambda i: dep.clients[i % 2], dep.node_for, cfg)
+    occ = bus.batch_occupancy()
+    wb = {k: v for k, v in occ.items()
+          if k.startswith("dufs/") and ".wblog" in k}
+    assert wb, f"no write-behind batcher occupancy: {sorted(occ)}"
+    assert sum(v["items"] for v in wb.values()) >= 20

@@ -95,3 +95,52 @@ def test_batcher_crash_clear_and_restart():
     node.spawn(producer2())
     cluster.run()
     assert flushed == [3]
+
+
+def test_batcher_marks_occupancy_on_the_bus():
+    from repro.svc import TraceBus
+
+    cluster, node = make()
+    bus = TraceBus()
+
+    def flush(batch):
+        yield cluster.sim.timeout(1e-3)
+
+    b = Batcher(node, "wb", flush, max_batch=4, bus=bus, deployment="test")
+
+    def producer():
+        for i in range(10):
+            b.submit(i)
+        yield cluster.sim.timeout(0)
+
+    node.spawn(producer())
+    cluster.run()
+    occ = bus.batch_occupancy()
+    row = occ["test/wb"]
+    assert row["flushes"] == 3 and row["items"] == 10
+    assert abs(row["fill_mean"] - 10 / 3) < 1e-9
+    assert row["depth_mean"] >= 0.0
+    # The human-readable table grows a batcher occupancy section.
+    table = bus.table()
+    assert "batcher" in table and "test/wb" in table
+
+
+def test_unwired_batcher_records_nothing():
+    from repro.svc import TraceBus
+
+    cluster, node = make()
+    bus = TraceBus()
+
+    def flush(batch):
+        yield cluster.sim.timeout(1e-3)
+
+    b = Batcher(node, "wb", flush, max_batch=4)   # default NULL_BUS
+
+    def producer():
+        b.submit(1)
+        yield cluster.sim.timeout(0)
+
+    node.spawn(producer())
+    cluster.run()
+    assert b.stats["flushes"] == 1
+    assert bus.batch_occupancy() == {} and "batcher" not in bus.table()

@@ -17,6 +17,7 @@ from .conftest import ZKHarness
 from .test_failures import wait_for_leader
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("seed", [1, 7, 23])
 def test_acknowledged_writes_survive_random_crashes(seed):
     params = ZKParams(failure_detection=True)

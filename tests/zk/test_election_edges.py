@@ -1,6 +1,8 @@
 """Election edge cases: observers, partitions during votes, rejoins."""
 
 
+import pytest
+
 from repro.models.params import ZKParams
 from repro.sim import Cluster
 from repro.zk import build_ensemble
@@ -55,6 +57,7 @@ def test_partition_during_election_resolves_after_heal():
                for s in h.ensemble.servers[:2])
 
 
+@pytest.mark.slow
 def test_two_crash_recover_cycles_preserve_data():
     h = elect_harness(3, seed=33)
     wait_for_leader(h)
